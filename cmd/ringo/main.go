@@ -1,0 +1,29 @@
+// Command ringo is an interactive shell over the Ringo engine — the
+// stand-in for the Python front-end of the paper (§2.5): the user composes
+// table manipulation, graph construction and graph analytics verbs over
+// named in-memory objects.
+//
+// Example session (the §4.1 StackOverflow expert demo):
+//
+//	gen posts P
+//	select JP P Tag == Java
+//	select Q JP Type == question
+//	select A JP Type == answer
+//	join QA Q A AcceptedId PostId
+//	tograph G QA UserId-1 UserId-2
+//	pagerank PR G
+//	top PR 10
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	sh := newShell(os.Stdout)
+	if err := sh.run(os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "ringo: %v\n", err)
+		os.Exit(1)
+	}
+}

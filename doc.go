@@ -1,0 +1,32 @@
+// Package ringo is a Go reproduction of Ringo, the interactive graph
+// analytics system for big-memory machines by Perez, Sosič, Banerjee,
+// Puttagunta, Raison, Shah and Leskovec (SIGMOD 2015).
+//
+// Ringo's thesis is that a single shared-memory machine is the right
+// platform for analytics on all but the largest graphs, provided the system
+// tightly integrates three things:
+//
+//   - a relational table engine (column store with persistent row ids) for
+//     manipulating raw input data,
+//   - a dynamic in-memory graph engine (a hash table of nodes with sorted
+//     adjacency vectors) with a large algorithm library, and
+//   - fast parallel conversions between the two representations, so the
+//     iterative explore-build-analyze loop of data science stays
+//     interactive.
+//
+// This package is the public façade over the engine. It mirrors the verbs
+// of Ringo's Python front-end:
+//
+//	posts, _ := ringo.LoadTableTSV(schema, "posts.tsv", true)
+//	jp, _ := ringo.Select(posts, "Tag", ringo.EQ, "Java")
+//	q, _ := ringo.Select(jp, "Type", ringo.EQ, "question")
+//	a, _ := ringo.Select(jp, "Type", ringo.EQ, "answer")
+//	qa, _ := ringo.Join(q, a, "AcceptedId", "PostId")
+//	g, _ := ringo.ToGraph(qa, "UserId-1", "UserId-2")
+//	pr := ringo.GetPageRank(g)
+//	experts, _ := ringo.TableFromMap(pr, "User", "Scr")
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table in the paper's evaluation; cmd/ringo-bench
+// regenerates them.
+package ringo

@@ -1,0 +1,92 @@
+// Propagation traces information spread through a social network — one of
+// the three motivating tasks in the paper's introduction ("tracing the
+// propagation of information in a social network"). It builds a
+// LiveJournal-like graph, then compares seed-selection strategies for an
+// independent-cascade diffusion: random seeds, top-degree seeds, and
+// top-PageRank seeds, averaging cascade sizes over several simulations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"ringo"
+)
+
+func main() {
+	edges := flag.Int64("edges", 300_000, "edge rows in the synthetic graph")
+	scale := flag.Int("scale", 15, "log2 node id space")
+	seeds := flag.Int("seeds", 5, "number of seed nodes per strategy")
+	prob := flag.Float64("p", 0.05, "per-edge activation probability")
+	runs := flag.Int("runs", 10, "simulations per strategy")
+	flag.Parse()
+
+	tbl := ringo.GenRMATTable(*scale, *edges, 17)
+	g, err := ringo.ToGraph(tbl, "src", "dst")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
+
+	strategies := map[string][]int64{
+		"random":   randomSeeds(g, *seeds),
+		"degree":   topDegreeSeeds(g, *seeds),
+		"pagerank": topPageRankSeeds(g, *seeds),
+	}
+
+	fmt.Printf("independent cascade, p=%.2f, %d seeds, %d runs per strategy:\n", *prob, *seeds, *runs)
+	names := make([]string, 0, len(strategies))
+	for name := range strategies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var total int
+		var maxRounds int
+		for r := 0; r < *runs; r++ {
+			active := ringo.SimulateCascade(g, strategies[name], *prob, int64(1000+r))
+			total += len(active)
+			for _, round := range active {
+				if round > maxRounds {
+					maxRounds = round
+				}
+			}
+		}
+		fmt.Printf("  %-9s avg cascade %6.0f nodes (%.1f%% of graph), deepest round %d\n",
+			name, float64(total)/float64(*runs),
+			100*float64(total)/float64(*runs)/float64(g.NumNodes()), maxRounds)
+	}
+	fmt.Println("\n(influence-aware seeding should beat random seeding on skewed graphs)")
+}
+
+func randomSeeds(g *ringo.Graph, k int) []int64 {
+	nodes := g.Nodes()
+	// Deterministic spread across the id space.
+	out := make([]int64, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, nodes[(i*7919)%len(nodes)])
+	}
+	return out
+}
+
+func topDegreeSeeds(g *ringo.Graph, k int) []int64 {
+	deg := map[int64]float64{}
+	g.ForNodes(func(id int64) { deg[id] = float64(g.OutDeg(id)) })
+	scored := ringo.TopK(deg, k)
+	out := make([]int64, len(scored))
+	for i, s := range scored {
+		out[i] = s.ID
+	}
+	return out
+}
+
+func topPageRankSeeds(g *ringo.Graph, k int) []int64 {
+	scored := ringo.TopK(ringo.GetPageRank(g), k)
+	out := make([]int64, len(scored))
+	for i, s := range scored {
+		out[i] = s.ID
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package algo
+
+import (
+	"math/rand"
+
+	"ringo/internal/graph"
+	"ringo/internal/par"
+)
+
+// Closeness returns the closeness centrality of node id in g, following
+// edges in both directions: (r-1)/sum(d) scaled by (r-1)/(n-1) where r is
+// the number of reached nodes (the Wasserman-Faust formula, robust on
+// disconnected graphs). It returns 0 for missing or isolated nodes.
+func Closeness(g *graph.Directed, id int64) float64 {
+	d := denseOf(g)
+	s, ok := d.idx[id]
+	if !ok {
+		return 0
+	}
+	dist := bfsDense(d, s, Both)
+	var sum int64
+	reached := 0
+	for _, dv := range dist {
+		if dv > 0 {
+			sum += int64(dv)
+			reached++
+		}
+	}
+	if sum == 0 || len(d.ids) <= 1 {
+		return 0
+	}
+	r := float64(reached)
+	n := float64(len(d.ids))
+	return (r / float64(sum)) * (r / (n - 1))
+}
+
+// ApproxBetweenness estimates betweenness centrality with Brandes'
+// algorithm run from a sample of source nodes (all nodes when samples >=
+// n), scaled to estimate the full sum. Sampling uses the given seed;
+// results are deterministic for a fixed seed. Edge direction is ignored, as
+// in the usual social-network usage.
+func ApproxBetweenness(g *graph.Directed, samples int, seed int64) map[int64]float64 {
+	d := denseOf(g)
+	n := len(d.ids)
+	if n == 0 {
+		return map[int64]float64{}
+	}
+	sources := make([]int32, n)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	scale := 1.0
+	if samples < n {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(n, func(i, j int) { sources[i], sources[j] = sources[j], sources[i] })
+		sources = sources[:samples]
+		scale = float64(n) / float64(samples)
+	}
+
+	// Undirected adjacency = out ∪ in per node.
+	adj := make([][]int32, n)
+	par.ForEach(n, func(u int) {
+		merged := make([]int32, 0, len(d.out[u])+len(d.in[u]))
+		merged = append(merged, d.out[u]...)
+		merged = append(merged, d.in[u]...)
+		sortInt32(merged)
+		// Dedup in place.
+		w := 0
+		for i, v := range merged {
+			if i == 0 || v != merged[w-1] {
+				merged[w] = v
+				w++
+			}
+		}
+		adj[u] = merged[:w]
+	})
+
+	// Brandes accumulation parallelized over sources: each worker owns a
+	// full set of per-source arrays and a private bc accumulator; the
+	// accumulators are summed after the barrier.
+	ranges := par.Split(len(sources), par.Workers())
+	partials := make([][]float64, len(ranges))
+	par.ForEach(len(ranges), func(w int) {
+		bc := make([]float64, n)
+		sigma := make([]float64, n)
+		dist := make([]int32, n)
+		delta := make([]float64, n)
+		order := make([]int32, 0, n)
+		preds := make([][]int32, n)
+		for si := ranges[w].Lo; si < ranges[w].Hi; si++ {
+			s := sources[si]
+			for i := range dist {
+				dist[i] = -1
+				sigma[i] = 0
+				delta[i] = 0
+				preds[i] = preds[i][:0]
+			}
+			order = order[:0]
+			dist[s] = 0
+			sigma[s] = 1
+			queue := []int32{s}
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				order = append(order, u)
+				for _, v := range adj[u] {
+					if dist[v] < 0 {
+						dist[v] = dist[u] + 1
+						queue = append(queue, v)
+					}
+					if dist[v] == dist[u]+1 {
+						sigma[v] += sigma[u]
+						preds[v] = append(preds[v], u)
+					}
+				}
+			}
+			for i := len(order) - 1; i >= 0; i-- {
+				x := order[i]
+				for _, v := range preds[x] {
+					delta[v] += sigma[v] / sigma[x] * (1 + delta[x])
+				}
+				if x != s {
+					bc[x] += delta[x]
+				}
+			}
+		}
+		partials[w] = bc
+	})
+	bc := make([]float64, n)
+	for _, p := range partials {
+		for i, v := range p {
+			bc[i] += v
+		}
+	}
+	// Each undirected shortest path counted from both endpoints when all
+	// sources are used; halve for the standard definition.
+	for i := range bc {
+		bc[i] *= scale / 2
+	}
+	return scoresToMap(d.ids, bc)
+}
+
+// Eccentricity returns the eccentricity of a node: the longest shortest
+// path from it (direction ignored), or -1 if the node is missing.
+func Eccentricity(g *graph.Directed, id int64) int {
+	d := denseOf(g)
+	s, ok := d.idx[id]
+	if !ok {
+		return -1
+	}
+	dist := bfsDense(d, s, Both)
+	ecc := 0
+	for _, dv := range dist {
+		if int(dv) > ecc {
+			ecc = int(dv)
+		}
+	}
+	return ecc
+}
+
+// ApproxDiameter estimates the graph diameter by running BFS (direction
+// ignored) from `samples` start nodes chosen deterministically from seed
+// and taking the largest eccentricity observed — SNAP's GetBfsFullDiam.
+func ApproxDiameter(g *graph.Directed, samples int, seed int64) int {
+	d := denseOf(g)
+	n := len(d.ids)
+	if n == 0 {
+		return 0
+	}
+	if samples > n {
+		samples = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	starts := rng.Perm(n)[:samples]
+	diam := 0
+	for _, s := range starts {
+		dist := bfsDense(d, int32(s), Both)
+		for _, dv := range dist {
+			if int(dv) > diam {
+				diam = int(dv)
+			}
+		}
+	}
+	return diam
+}

@@ -1,0 +1,133 @@
+package algo
+
+import (
+	"testing"
+
+	"ringo/internal/graph"
+)
+
+func TestClosenessPathCenter(t *testing.T) {
+	g := pathGraph(5) // 0-1-2-3-4
+	center := Closeness(g, 2)
+	end := Closeness(g, 0)
+	if center <= end {
+		t.Fatalf("center closeness %v <= end %v", center, end)
+	}
+	if Closeness(g, 99) != 0 {
+		t.Fatal("missing node closeness nonzero")
+	}
+}
+
+func TestClosenessIsolatedNode(t *testing.T) {
+	g := graph.NewDirected()
+	g.AddNode(1)
+	g.AddEdge(2, 3)
+	if Closeness(g, 1) != 0 {
+		t.Fatal("isolated node closeness nonzero")
+	}
+}
+
+func TestBetweennessPathMiddle(t *testing.T) {
+	g := pathGraph(5)
+	bc := ApproxBetweenness(g, 1000, 1) // full computation (samples > n)
+	// On the 5-path, node 2 lies on the most shortest paths.
+	for _, id := range []int64{0, 1, 3, 4} {
+		if bc[2] <= bc[id] {
+			t.Fatalf("bc[2]=%v not above bc[%d]=%v", bc[2], id, bc[id])
+		}
+	}
+	// Exact values for the path: ends 0, next 3, middle 4.
+	if !approxEq(bc[0], 0, 1e-9) || !approxEq(bc[2], 4, 1e-9) || !approxEq(bc[1], 3, 1e-9) {
+		t.Fatalf("bc = %v", bc)
+	}
+}
+
+func TestBetweennessSampledDeterministic(t *testing.T) {
+	g := completeUndirectedAsDirected(8)
+	a := ApproxBetweenness(g, 4, 42)
+	b := ApproxBetweenness(g, 4, 42)
+	for id, v := range a {
+		if b[id] != v {
+			t.Fatal("sampled betweenness not deterministic for fixed seed")
+		}
+	}
+}
+
+func completeUndirectedAsDirected(n int) *graph.Directed {
+	g := graph.NewDirected()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(int64(i), int64(j))
+		}
+	}
+	return g
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := pathGraph(7) // diameter 6
+	if e := Eccentricity(g, 0); e != 6 {
+		t.Fatalf("ecc(0) = %d", e)
+	}
+	if e := Eccentricity(g, 3); e != 3 {
+		t.Fatalf("ecc(3) = %d", e)
+	}
+	if e := Eccentricity(g, 42); e != -1 {
+		t.Fatalf("missing node ecc = %d", e)
+	}
+	// Sampling every node gives the exact diameter.
+	if d := ApproxDiameter(g, 7, 1); d != 6 {
+		t.Fatalf("diameter = %d, want 6", d)
+	}
+	if d := ApproxDiameter(graph.NewDirected(), 3, 1); d != 0 {
+		t.Fatalf("empty graph diameter = %d", d)
+	}
+}
+
+func TestDegreeStatsAndHistogram(t *testing.T) {
+	g := starGraph(4) // leaves 1..4 -> hub 0
+	out := OutDegreeStats(g)
+	if out.Min != 0 || out.Max != 1 || !approxEq(out.Mean, 4.0/5.0, 1e-12) {
+		t.Fatalf("out stats = %+v", out)
+	}
+	in := InDegreeStats(g)
+	if in.Max != 4 {
+		t.Fatalf("in stats = %+v", in)
+	}
+	hist := DegreeHistogram(g)
+	// out-degrees: one node with 0 (hub), four with 1.
+	if len(hist) != 2 || hist[0] != [2]int64{0, 1} || hist[1] != [2]int64{1, 4} {
+		t.Fatalf("histogram = %v", hist)
+	}
+	if got := OutDegreeStats(graph.NewDirected()); got != (DegreeStats{}) {
+		t.Fatalf("empty stats = %+v", got)
+	}
+}
+
+func TestDegreeCentrality(t *testing.T) {
+	g := graph.NewUndirected()
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	dc := DegreeCentrality(g)
+	if !approxEq(dc[0], 1, 1e-12) || !approxEq(dc[1], 0.5, 1e-12) {
+		t.Fatalf("degree centrality = %v", dc)
+	}
+	single := graph.NewUndirected()
+	single.AddNode(7)
+	if dc := DegreeCentrality(single); dc[7] != 0 {
+		t.Fatal("singleton centrality nonzero")
+	}
+}
+
+func TestMaxDegreeNode(t *testing.T) {
+	g := graph.NewDirected()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	id, deg, ok := MaxDegreeNode(g)
+	if !ok || id != 1 || deg != 2 {
+		t.Fatalf("MaxDegreeNode = (%d,%d,%v)", id, deg, ok)
+	}
+	if _, _, ok := MaxDegreeNode(graph.NewDirected()); ok {
+		t.Fatal("empty graph returned a max node")
+	}
+}

@@ -1,0 +1,152 @@
+// Package algo implements the graph algorithms Ringo exposes through SNAP
+// (§2.2, §3 of Perez et al., SIGMOD 2015): PageRank, HITS, triangle
+// counting, clustering coefficients, BFS and shortest paths, connected
+// components (weak and strong), k-core decomposition, degree statistics,
+// centrality measures, community detection, and random walks. The
+// algorithms benchmarked in the paper (Tables 3 and 6) come in both
+// sequential and parallel variants.
+//
+// Algorithms accept the dynamic hash-table graphs from internal/graph and
+// internally build a dense, array-indexed view once per invocation (the
+// role SNAP's node iterators play), then run over flat arrays.
+package algo
+
+import (
+	"ringo/internal/graph"
+	"ringo/internal/par"
+)
+
+// dense is a flat-array view of a directed graph: node ids are mapped to
+// dense indices, and adjacency is translated to dense indices so iterative
+// algorithms index arrays instead of hashing.
+type dense struct {
+	ids []int64
+	idx map[int64]int32
+	out [][]int32
+	in  [][]int32
+}
+
+func denseOf(g *graph.Directed) *dense {
+	n := g.NumNodes()
+	d := &dense{
+		ids: make([]int64, 0, n),
+		idx: make(map[int64]int32, n),
+	}
+	for s := 0; s < g.NumSlots(); s++ {
+		if id, ok := g.IDAtSlot(s); ok {
+			d.idx[id] = int32(len(d.ids))
+			d.ids = append(d.ids, id)
+		}
+	}
+	d.out = make([][]int32, len(d.ids))
+	d.in = make([][]int32, len(d.ids))
+	at := 0
+	for s := 0; s < g.NumSlots(); s++ {
+		if _, ok := g.IDAtSlot(s); !ok {
+			continue
+		}
+		d.out[at] = translate(g.OutAtSlot(s), d.idx)
+		d.in[at] = translate(g.InAtSlot(s), d.idx)
+		at++
+	}
+	return d
+}
+
+// denseUndir is the undirected counterpart of dense.
+type denseUndir struct {
+	ids []int64
+	idx map[int64]int32
+	adj [][]int32
+}
+
+func denseOfUndir(g *graph.Undirected) *denseUndir {
+	n := g.NumNodes()
+	d := &denseUndir{
+		ids: make([]int64, 0, n),
+		idx: make(map[int64]int32, n),
+	}
+	for s := 0; s < g.NumSlots(); s++ {
+		if id, ok := g.IDAtSlot(s); ok {
+			d.idx[id] = int32(len(d.ids))
+			d.ids = append(d.ids, id)
+		}
+	}
+	d.adj = make([][]int32, len(d.ids))
+	at := 0
+	for s := 0; s < g.NumSlots(); s++ {
+		if _, ok := g.IDAtSlot(s); !ok {
+			continue
+		}
+		d.adj[at] = translate(g.AdjAtSlot(s), d.idx)
+		at++
+	}
+	return d
+}
+
+// translate maps node ids to dense indices. The input vectors are sorted by
+// id; because dense indices are assigned in slot order, not id order, the
+// output is re-sorted so intersection-based algorithms keep working.
+func translate(ids []int64, idx map[int64]int32) []int32 {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		out[i] = idx[id]
+	}
+	sortInt32(out)
+	return out
+}
+
+func sortInt32(a []int32) {
+	// Insertion sort for short vectors, simple quicksort otherwise;
+	// adjacency vectors are overwhelmingly short in power-law graphs.
+	if len(a) < 24 {
+		for i := 1; i < len(a); i++ {
+			v := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > v {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = v
+		}
+		return
+	}
+	pivot := a[len(a)/2]
+	lo, hi := 0, len(a)-1
+	for lo <= hi {
+		for a[lo] < pivot {
+			lo++
+		}
+		for a[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			a[lo], a[hi] = a[hi], a[lo]
+			lo++
+			hi--
+		}
+	}
+	sortInt32(a[:hi+1])
+	sortInt32(a[lo:])
+}
+
+// scoresToMap converts a dense score vector to the id-keyed map Ringo's
+// front-end verbs return (ready for TableFromMap).
+func scoresToMap(ids []int64, vals []float64) map[int64]float64 {
+	m := make(map[int64]float64, len(ids))
+	for i, id := range ids {
+		m[id] = vals[i]
+	}
+	return m
+}
+
+// parFill sets every element of a to v in parallel.
+func parFill(a []float64, v float64) {
+	par.For(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = v
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package algo
+
+import (
+	"ringo/internal/graph"
+)
+
+// CoreNumbers computes the core number (coreness) of every node of an
+// undirected graph with the linear-time peeling algorithm of Batagelj and
+// Zaveršnik: nodes are bucketed by degree and repeatedly peeled from the
+// lowest bucket, decrementing their neighbors. Self-loops are ignored for
+// degree purposes.
+func CoreNumbers(g *graph.Undirected) map[int64]int {
+	d := denseOfUndir(g)
+	n := len(d.ids)
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for u := 0; u < n; u++ {
+		c := int32(0)
+		for _, v := range d.adj[u] {
+			if v != int32(u) {
+				c++
+			}
+		}
+		deg[u] = c
+		if c > maxDeg {
+			maxDeg = c
+		}
+	}
+	// Bucket sort nodes by degree.
+	binStart := make([]int32, maxDeg+2)
+	for _, dv := range deg {
+		binStart[dv+1]++
+	}
+	for i := int32(1); i <= maxDeg+1; i++ {
+		binStart[i] += binStart[i-1]
+	}
+	pos := make([]int32, n)  // node -> position in vert
+	vert := make([]int32, n) // sorted by degree
+	fill := make([]int32, maxDeg+1)
+	copy(fill, binStart[:maxDeg+1])
+	for u := 0; u < n; u++ {
+		p := fill[deg[u]]
+		fill[deg[u]]++
+		pos[u] = p
+		vert[p] = int32(u)
+	}
+
+	core := make([]int32, n)
+	bin := make([]int32, maxDeg+1)
+	copy(bin, binStart[:maxDeg+1])
+	for i := 0; i < n; i++ {
+		u := vert[i]
+		core[u] = deg[u]
+		for _, v := range d.adj[u] {
+			if v == u {
+				continue
+			}
+			if deg[v] > deg[u] {
+				// Move v to the front of its bucket, then shrink its degree.
+				dv := deg[v]
+				pv := pos[v]
+				pw := bin[dv]
+				w := vert[pw]
+				if v != w {
+					vert[pv], vert[pw] = w, v
+					pos[v], pos[w] = pw, pv
+				}
+				bin[dv]++
+				deg[v]--
+			}
+		}
+	}
+	out := make(map[int64]int, n)
+	for u, id := range d.ids {
+		out[id] = int(core[u])
+	}
+	return out
+}
+
+// KCore returns the k-core of g: the maximal subgraph in which every node
+// has degree at least k. Table 6 benchmarks the 3-core. The result is a new
+// graph; g is unmodified.
+func KCore(g *graph.Undirected, k int) *graph.Undirected {
+	cores := CoreNumbers(g)
+	sub := graph.NewUndirected()
+	keep := func(id int64) bool { return cores[id] >= k }
+	g.ForNodes(func(id int64) {
+		if keep(id) {
+			sub.AddNode(id)
+		}
+	})
+	g.ForEdges(func(src, dst int64) {
+		if keep(src) && keep(dst) {
+			sub.AddEdge(src, dst)
+		}
+	})
+	return sub
+}
+
+// KCoreDirected is KCore on the undirected view of a directed graph,
+// matching SNAP's KCore on graphs loaded as directed edge lists.
+func KCoreDirected(g *graph.Directed, k int) *graph.Undirected {
+	return KCore(graph.AsUndirected(g), k)
+}

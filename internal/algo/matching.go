@@ -1,0 +1,113 @@
+package algo
+
+import (
+	"sort"
+
+	"ringo/internal/graph"
+)
+
+// GreedyColoring colors the nodes of an undirected graph so no edge is
+// monochromatic, using the Welsh-Powell heuristic: visit nodes in
+// descending degree order (ties by id) and give each the smallest color
+// unused by its neighbors. Returns the coloring and the number of colors.
+// Self-loops are ignored.
+func GreedyColoring(g *graph.Undirected) (map[int64]int, int) {
+	nodes := g.Nodes()
+	sort.SliceStable(nodes, func(i, j int) bool {
+		di, dj := g.Deg(nodes[i]), g.Deg(nodes[j])
+		if di != dj {
+			return di > dj
+		}
+		return nodes[i] < nodes[j]
+	})
+	color := make(map[int64]int, len(nodes))
+	for _, id := range nodes {
+		color[id] = -1
+	}
+	maxColor := 0
+	used := []bool{}
+	for _, u := range nodes {
+		for i := range used {
+			used[i] = false
+		}
+		for _, v := range g.Neighbors(u) {
+			if v == u {
+				continue
+			}
+			if c := color[v]; c >= 0 {
+				for c >= len(used) {
+					used = append(used, false)
+				}
+				used[c] = true
+			}
+		}
+		c := 0
+		for c < len(used) && used[c] {
+			c++
+		}
+		color[u] = c
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+	}
+	if len(nodes) == 0 {
+		return color, 0
+	}
+	return color, maxColor
+}
+
+// MaximalMatching returns a maximal matching of the undirected graph:
+// greedy over edges in (src, dst) order, so the result is deterministic.
+// The matching is maximal (no edge can be added), not necessarily maximum.
+// Self-loops are skipped.
+func MaximalMatching(g *graph.Undirected) [][2]int64 {
+	matched := map[int64]bool{}
+	var out [][2]int64
+	for _, u := range g.Nodes() {
+		if matched[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if v == u || matched[v] {
+				continue
+			}
+			matched[u], matched[v] = true, true
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			out = append(out, [2]int64{a, b})
+			break
+		}
+	}
+	return out
+}
+
+// IndependentSetGreedy returns a maximal independent set: visit nodes in
+// ascending degree order and take every node none of whose neighbors is
+// already taken.
+func IndependentSetGreedy(g *graph.Undirected) []int64 {
+	nodes := g.Nodes()
+	sort.SliceStable(nodes, func(i, j int) bool {
+		di, dj := g.Deg(nodes[i]), g.Deg(nodes[j])
+		if di != dj {
+			return di < dj
+		}
+		return nodes[i] < nodes[j]
+	})
+	taken := map[int64]bool{}
+	blocked := map[int64]bool{}
+	var out []int64
+	for _, u := range nodes {
+		if blocked[u] || g.HasEdge(u, u) {
+			continue
+		}
+		taken[u] = true
+		out = append(out, u)
+		for _, v := range g.Neighbors(u) {
+			blocked[v] = true
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

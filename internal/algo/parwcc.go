@@ -1,0 +1,74 @@
+package algo
+
+import (
+	"sync/atomic"
+
+	"ringo/internal/graph"
+	"ringo/internal/par"
+)
+
+// WCCParallel computes weakly connected components with parallel label
+// propagation (hash-min): every node starts labeled with its own index, and
+// each round every node atomically lowers its neighbors' labels to the
+// minimum seen, until no label changes. Results are identical to WCC.
+func WCCParallel(g *graph.Directed) Components {
+	d := denseOf(g)
+	n := len(d.ids)
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = int32(i)
+	}
+	// lowerTo atomically lowers label[v] to at most x, reporting change.
+	lowerTo := func(v int32, x int32) bool {
+		for {
+			cur := atomic.LoadInt32(&label[v])
+			if cur <= x {
+				return false
+			}
+			if atomic.CompareAndSwapInt32(&label[v], cur, x) {
+				return true
+			}
+		}
+	}
+	for {
+		changed := par.SumInt(n, func(lo, hi int) int64 {
+			var c int64
+			for u := lo; u < hi; u++ {
+				lu := atomic.LoadInt32(&label[u])
+				min := lu
+				for _, v := range d.out[u] {
+					if lv := atomic.LoadInt32(&label[v]); lv < min {
+						min = lv
+					}
+				}
+				for _, v := range d.in[u] {
+					if lv := atomic.LoadInt32(&label[v]); lv < min {
+						min = lv
+					}
+				}
+				if min < lu {
+					if lowerTo(int32(u), min) {
+						c++
+					}
+				}
+				// Push the minimum outward too, halving convergence rounds
+				// on long chains.
+				for _, v := range d.out[u] {
+					if lowerTo(v, min) {
+						c++
+					}
+				}
+				for _, v := range d.in[u] {
+					if lowerTo(v, min) {
+						c++
+					}
+				}
+			}
+			return c
+		})
+		if changed == 0 {
+			break
+		}
+	}
+	return labelComponents(d.ids, func(i int32) int32 { return label[i] })
+}

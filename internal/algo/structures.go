@@ -1,0 +1,289 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"ringo/internal/graph"
+)
+
+// ArticulationPoints returns the cut vertices of an undirected graph: nodes
+// whose removal increases the number of connected components. Iterative
+// Tarjan lowlink computation, safe on deep graphs.
+func ArticulationPoints(g *graph.Undirected) []int64 {
+	d := denseOfUndir(g)
+	n := len(d.ids)
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	isCut := make([]bool, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	var timer int32
+	type frame struct {
+		node int32
+		pos  int
+	}
+	for root := 0; root < n; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		rootChildren := 0
+		stack := []frame{{int32(root), 0}}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.node
+			if f.pos < len(d.adj[u]) {
+				v := d.adj[u][f.pos]
+				f.pos++
+				if v == u {
+					continue // self-loop
+				}
+				if disc[v] == -1 {
+					parent[v] = u
+					if u == int32(root) {
+						rootChildren++
+					}
+					disc[v] = timer
+					low[v] = timer
+					timer++
+					stack = append(stack, frame{v, 0})
+				} else if v != parent[u] && disc[v] < low[u] {
+					low[u] = disc[v]
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parent[u]; p != -1 {
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+				if p != int32(root) && low[u] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+		}
+		if rootChildren > 1 {
+			isCut[root] = true
+		}
+	}
+	var out []int64
+	for i, cut := range isCut {
+		if cut {
+			out = append(out, d.ids[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Bridges returns the cut edges of an undirected graph (edges whose removal
+// disconnects their endpoints), each as {smaller id, larger id}, sorted.
+func Bridges(g *graph.Undirected) [][2]int64 {
+	d := denseOfUndir(g)
+	n := len(d.ids)
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	var timer int32
+	var out [][2]int64
+	type frame struct {
+		node    int32
+		pos     int
+		skipped bool // one parallel-edge-back-to-parent allowance used
+	}
+	for root := 0; root < n; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		stack := []frame{{int32(root), 0, false}}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.node
+			if f.pos < len(d.adj[u]) {
+				v := d.adj[u][f.pos]
+				f.pos++
+				if v == u {
+					continue
+				}
+				if disc[v] == -1 {
+					parent[v] = u
+					disc[v] = timer
+					low[v] = timer
+					timer++
+					stack = append(stack, frame{v, 0, false})
+				} else if v != parent[u] || f.skipped {
+					if disc[v] < low[u] {
+						low[u] = disc[v]
+					}
+				} else {
+					// First sighting of the tree edge back to the parent:
+					// not a cycle edge. (Simple graphs: at most one.)
+					f.skipped = true
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parent[u]; p != -1 {
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+				if low[u] > disc[p] {
+					a, b := d.ids[p], d.ids[u]
+					if a > b {
+						a, b = b, a
+					}
+					out = append(out, [2]int64{a, b})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// TopoSort returns a topological order of a directed acyclic graph (Kahn's
+// algorithm). It errors if the graph contains a cycle.
+func TopoSort(g *graph.Directed) ([]int64, error) {
+	d := denseOf(g)
+	n := len(d.ids)
+	indeg := make([]int32, n)
+	for u := 0; u < n; u++ {
+		indeg[u] = int32(len(d.in[u]))
+	}
+	// Ready nodes kept id-sorted for deterministic output.
+	ready := make([]int32, 0, n)
+	for u := 0; u < n; u++ {
+		if indeg[u] == 0 {
+			ready = append(ready, int32(u))
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return d.ids[ready[i]] < d.ids[ready[j]] })
+	order := make([]int64, 0, n)
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, d.ids[u])
+		for _, v := range d.out[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("algo: graph has a cycle; no topological order")
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the directed graph is acyclic.
+func IsDAG(g *graph.Directed) bool {
+	_, err := TopoSort(g)
+	return err == nil
+}
+
+// Bipartition two-colors an undirected graph. ok is false if the graph
+// contains an odd cycle (not bipartite); otherwise side maps every node to
+// 0 or 1 with no monochromatic edge.
+func Bipartition(g *graph.Undirected) (side map[int64]int, ok bool) {
+	d := denseOfUndir(g)
+	n := len(d.ids)
+	color := make([]int8, n)
+	for i := range color {
+		color[i] = -1
+	}
+	for root := 0; root < n; root++ {
+		if color[root] != -1 {
+			continue
+		}
+		color[root] = 0
+		queue := []int32{int32(root)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range d.adj[u] {
+				if v == u {
+					return nil, false // self-loop is an odd cycle
+				}
+				if color[v] == -1 {
+					color[v] = 1 - color[u]
+					queue = append(queue, v)
+				} else if color[v] == color[u] {
+					return nil, false
+				}
+			}
+		}
+	}
+	side = make(map[int64]int, n)
+	for i, id := range d.ids {
+		side[id] = int(color[i])
+	}
+	return side, true
+}
+
+// MSTEdge is one edge of a minimum spanning forest.
+type MSTEdge struct {
+	Src, Dst int64
+	Weight   float64
+}
+
+// MinimumSpanningForest computes a minimum spanning forest of an undirected
+// graph under the given edge weights (Kruskal with union-find). Self-loops
+// are ignored. The total weight and the chosen edges are returned; for a
+// connected graph the forest is a spanning tree.
+func MinimumSpanningForest(g *graph.Undirected, w func(u, v int64) float64) (edges []MSTEdge, total float64) {
+	all := make([]MSTEdge, 0, g.NumEdges())
+	g.ForEdges(func(u, v int64) {
+		if u != v {
+			all = append(all, MSTEdge{u, v, w(u, v)})
+		}
+	})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Weight != all[j].Weight {
+			return all[i].Weight < all[j].Weight
+		}
+		if all[i].Src != all[j].Src {
+			return all[i].Src < all[j].Src
+		}
+		return all[i].Dst < all[j].Dst
+	})
+	parent := map[int64]int64{}
+	var find func(x int64) int64
+	find = func(x int64) int64 {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	for _, e := range all {
+		ra, rb := find(e.Src), find(e.Dst)
+		if ra == rb {
+			continue
+		}
+		parent[ra] = rb
+		edges = append(edges, e)
+		total += e.Weight
+	}
+	return edges, total
+}

@@ -1,0 +1,157 @@
+package algo
+
+import (
+	"container/heap"
+	"math"
+
+	"ringo/internal/graph"
+)
+
+// EdgeDir selects which edges a traversal follows on a directed graph.
+type EdgeDir int
+
+// Traversal directions.
+const (
+	// Out follows edges in their direction.
+	Out EdgeDir = iota
+	// In follows edges against their direction.
+	In
+	// Both ignores edge direction.
+	Both
+)
+
+// BFS runs a breadth-first search over g from src following dir edges and
+// returns hop distances keyed by node id for every reached node (including
+// src at distance 0). It returns nil if src is not a node.
+func BFS(g *graph.Directed, src int64, dir EdgeDir) map[int64]int {
+	d := denseOf(g)
+	s, ok := d.idx[src]
+	if !ok {
+		return nil
+	}
+	dist := bfsDense(d, s, dir)
+	out := make(map[int64]int)
+	for i, dv := range dist {
+		if dv >= 0 {
+			out[d.ids[i]] = int(dv)
+		}
+	}
+	return out
+}
+
+// bfsDense runs BFS over the dense view, returning -1 for unreached nodes.
+func bfsDense(d *dense, src int32, dir EdgeDir) []int32 {
+	n := len(d.ids)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, 256)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		expand := func(nbrs []int32) {
+			for _, v := range nbrs {
+				if dist[v] < 0 {
+					dist[v] = du + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		if dir == Out || dir == Both {
+			expand(d.out[u])
+		}
+		if dir == In || dir == Both {
+			expand(d.in[u])
+		}
+	}
+	return dist
+}
+
+// SSSPUnweighted returns single-source shortest-path hop distances from src
+// following out-edges — the unweighted SSSP benchmarked in Table 6, where
+// every edge has length 1 and BFS is the optimal algorithm.
+func SSSPUnweighted(g *graph.Directed, src int64) map[int64]int {
+	return BFS(g, src, Out)
+}
+
+// ShortestPath returns the hop distance from src to dst following
+// out-edges, or -1 if dst is unreachable.
+func ShortestPath(g *graph.Directed, src, dst int64) int {
+	d := denseOf(g)
+	s, ok := d.idx[src]
+	if !ok {
+		return -1
+	}
+	t, ok := d.idx[dst]
+	if !ok {
+		return -1
+	}
+	dist := bfsDense(d, s, Out)
+	return int(dist[t])
+}
+
+// WeightFunc supplies the length of the edge src->dst; it must be
+// non-negative for Dijkstra.
+type WeightFunc func(src, dst int64) float64
+
+// Dijkstra computes weighted single-source shortest paths from src
+// following out-edges, with edge lengths from w. Unreachable nodes are
+// absent from the result. It returns nil if src is not a node.
+func Dijkstra(g *graph.Directed, src int64, w WeightFunc) map[int64]float64 {
+	d := denseOf(g)
+	s, ok := d.idx[src]
+	if !ok {
+		return nil
+	}
+	n := len(d.ids)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[s] = 0
+	pq := &distHeap{{s, 0}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		u := top.node
+		if top.dist > dist[u] {
+			continue // stale entry
+		}
+		for _, v := range d.out[u] {
+			nd := dist[u] + w(d.ids[u], d.ids[v])
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(pq, distEntry{v, nd})
+			}
+		}
+	}
+	out := make(map[int64]float64)
+	for i, dv := range dist {
+		if !math.IsInf(dv, 1) {
+			out[d.ids[i]] = dv
+		}
+	}
+	return out
+}
+
+type distEntry struct {
+	node int32
+	dist float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

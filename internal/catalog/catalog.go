@@ -1,0 +1,136 @@
+// Package catalog embeds a reconstruction of the Stanford Large Network
+// Dataset Collection as of 2015 — the 71 public graphs whose size
+// distribution is Table 1 of the Ringo paper ("90% of graphs have less than
+// 100M edges. Only one graph has more than 1B edges."). Edge counts for the
+// well-known datasets are their published values; a few long-tail entries
+// are approximate reconstructions, which does not affect the binned
+// statistics the experiment reports.
+package catalog
+
+// Dataset is one graph of the collection.
+type Dataset struct {
+	Name  string
+	Edges int64
+}
+
+// Collection lists the 71 graphs.
+var Collection = []Dataset{
+	// < 0.1M edges (16 graphs).
+	{"ca-GrQc", 14_496},
+	{"as-735", 13_895},
+	{"p2p-Gnutella08", 20_777},
+	{"oregon1-010331", 22_002},
+	{"email-Eu-core", 25_571},
+	{"ca-HepTh", 25_998},
+	{"p2p-Gnutella09", 26_013},
+	{"oregon2-010331", 31_180},
+	{"p2p-Gnutella06", 31_525},
+	{"p2p-Gnutella05", 31_839},
+	{"p2p-Gnutella04", 39_994},
+	{"p2p-Gnutella25", 54_705},
+	{"p2p-Gnutella24", 65_369},
+	{"ego-Facebook", 88_234},
+	{"p2p-Gnutella30", 88_328},
+	{"ca-CondMat", 93_497},
+	// 0.1M – 1M edges (25 graphs).
+	{"wiki-Vote", 103_689},
+	{"wiki-Elec", 103_663},
+	{"ca-HepPh", 118_521},
+	{"p2p-Gnutella31", 147_892},
+	{"wiki-RfA", 179_418},
+	{"email-Enron", 183_831},
+	{"ca-AstroPh", 198_110},
+	{"loc-Brightkite", 214_078},
+	{"cit-HepTh", 352_807},
+	{"act-mooc", 411_749},
+	{"email-EuAll", 420_045},
+	{"cit-HepPh", 421_578},
+	{"sx-mathoverflow", 506_550},
+	{"soc-Epinions1", 508_837},
+	{"soc-sign-Slashdot081106", 545_671},
+	{"soc-sign-Slashdot090216", 548_552},
+	{"soc-sign-Slashdot090221", 549_202},
+	{"higgs-activity-time", 563_069},
+	{"soc-sign-epinions", 841_372},
+	{"soc-RedditHyperlinks", 858_490},
+	{"soc-Slashdot0811", 905_468},
+	{"sx-superuser", 924_886},
+	{"com-Amazon", 925_872},
+	{"soc-Slashdot0902", 948_464},
+	{"loc-Gowalla", 950_327},
+	// 1M – 10M edges (17 graphs).
+	{"com-DBLP", 1_049_866},
+	{"amazon0302", 1_234_877},
+	{"twitter-combined", 1_342_310},
+	{"web-NotreDame", 1_497_134},
+	{"roadNet-PA", 1_541_898},
+	{"roadNet-TX", 1_921_660},
+	{"web-Stanford", 2_312_497},
+	{"roadNet-CA", 2_766_607},
+	{"com-Youtube", 2_987_624},
+	{"amazon0312", 3_200_440},
+	{"amazon0505", 3_356_824},
+	{"amazon0601", 3_387_388},
+	{"youtube-links", 4_945_382},
+	{"wiki-Talk", 5_021_410},
+	{"web-Google", 5_105_039},
+	{"flickr-links", 5_801_442},
+	{"web-BerkStan", 7_600_595},
+	// 10M – 100M edges (7 graphs).
+	{"as-Skitter", 11_095_298},
+	{"gplus-combined", 13_673_453},
+	{"cit-Patents", 16_518_948},
+	{"wiki-topcats", 28_511_807},
+	{"soc-Pokec", 30_622_564},
+	{"com-LiveJournal", 34_681_189},
+	{"soc-LiveJournal1", 68_993_773},
+	// 100M – 1B edges (5 graphs).
+	{"com-Orkut", 117_185_083},
+	{"soc-sinaweibo", 261_321_071},
+	{"web-uk-2002", 298_113_762},
+	{"wiki-en-links", 378_142_420},
+	{"memetracker-links", 418_237_269},
+	// > 1B edges (1 graph).
+	{"twitter-2010", 1_468_365_182},
+}
+
+// Bin is one row of the Table 1 histogram.
+type Bin struct {
+	Label  string
+	Lo, Hi int64 // edge-count interval [Lo, Hi); Hi<=0 means unbounded
+	Count  int
+}
+
+// Bins returns the Table 1 histogram of the collection: graphs bucketed by
+// edge count at the paper's boundaries 0.1M, 1M, 10M, 100M and 1B.
+func Bins() []Bin {
+	bins := []Bin{
+		{Label: "<0.1M", Lo: 0, Hi: 100_000},
+		{Label: "0.1M - 1M", Lo: 100_000, Hi: 1_000_000},
+		{Label: "1M - 10M", Lo: 1_000_000, Hi: 10_000_000},
+		{Label: "10M - 100M", Lo: 10_000_000, Hi: 100_000_000},
+		{Label: "100M - 1B", Lo: 100_000_000, Hi: 1_000_000_000},
+		{Label: ">1B", Lo: 1_000_000_000, Hi: 0},
+	}
+	for _, d := range Collection {
+		for i := range bins {
+			if d.Edges >= bins[i].Lo && (bins[i].Hi <= 0 || d.Edges < bins[i].Hi) {
+				bins[i].Count++
+				break
+			}
+		}
+	}
+	return bins
+}
+
+// FractionBelow reports the fraction of the collection with fewer than
+// limit edges (the paper's "90% of graphs have less than 100M edges").
+func FractionBelow(limit int64) float64 {
+	n := 0
+	for _, d := range Collection {
+		if d.Edges < limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(Collection))
+}

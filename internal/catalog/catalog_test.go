@@ -1,0 +1,60 @@
+package catalog
+
+import "testing"
+
+func TestCollectionHas71Graphs(t *testing.T) {
+	if len(Collection) != 71 {
+		t.Fatalf("collection has %d graphs, want 71", len(Collection))
+	}
+	seen := map[string]bool{}
+	for _, d := range Collection {
+		if d.Name == "" || d.Edges <= 0 {
+			t.Fatalf("bad entry %+v", d)
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate dataset %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestBinsMatchTable1(t *testing.T) {
+	// The exact histogram from Table 1 of the paper.
+	want := map[string]int{
+		"<0.1M":      16,
+		"0.1M - 1M":  25,
+		"1M - 10M":   17,
+		"10M - 100M": 7,
+		"100M - 1B":  5,
+		">1B":        1,
+	}
+	total := 0
+	for _, b := range Bins() {
+		if b.Count != want[b.Label] {
+			t.Fatalf("bin %q = %d graphs, want %d", b.Label, b.Count, want[b.Label])
+		}
+		total += b.Count
+	}
+	if total != 71 {
+		t.Fatalf("bins cover %d graphs", total)
+	}
+}
+
+func TestNinetyPercentBelow100M(t *testing.T) {
+	f := FractionBelow(100_000_000)
+	if f < 0.90 || f >= 0.95 {
+		t.Fatalf("fraction below 100M edges = %.3f, paper reports about 90%%", f)
+	}
+}
+
+func TestOnlyOneGraphAboveOneBillion(t *testing.T) {
+	n := 0
+	for _, d := range Collection {
+		if d.Edges > 1_000_000_000 {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d graphs above 1B edges, want 1", n)
+	}
+}

@@ -1,0 +1,256 @@
+// Package conv implements Ringo's fast conversions between tables and
+// graphs (§2.4 of Perez et al., SIGMOD 2015).
+//
+// Table to graph uses the paper's "sort-first" algorithm: copy the source
+// and destination columns, sort the copies in parallel, compute the exact
+// number of neighbors for each node from the sorted runs, and then copy the
+// per-node neighbor vectors into the graph's node hash table. Sorting
+// parallelizes well, exact degree counts remove any need to guess hash
+// table or vector sizes in advance, and workers write disjoint vectors, so
+// there is no contention and no thread-safe data structure on the hot path.
+//
+// Graph to table partitions the graph's nodes among workers, pre-allocates
+// the output table, and assigns each worker a disjoint output range
+// computed by a prefix sum over node degrees.
+package conv
+
+import (
+	"fmt"
+
+	"ringo/internal/graph"
+	"ringo/internal/par"
+	"ringo/internal/table"
+)
+
+// ToDirected converts an edge table to a directed graph using the
+// sort-first algorithm. srcCol and dstCol name the edge source and
+// destination columns; they must be Int or String columns (string cells
+// become nodes identified by their pool ids). Duplicate rows collapse to a
+// single edge.
+func ToDirected(t *table.Table, srcCol, dstCol string) (*graph.Directed, error) {
+	srcs, dsts, err := edgeColumns(t, srcCol, dstCol)
+	if err != nil {
+		return nil, err
+	}
+	// Copies of both columns, in both orientations.
+	k1 := append([]int64(nil), srcs...)
+	v1 := append([]int64(nil), dsts...)
+	k2 := append([]int64(nil), dsts...)
+	v2 := append([]int64(nil), srcs...)
+	par.Do(
+		func() { par.SortPairs(k1, v1) },
+		func() { par.SortPairs(k2, v2) },
+	)
+
+	ids := mergeUniqueSorted(k1, k2)
+	outRuns := runOffsets(ids, k1)
+	inRuns := runOffsets(ids, k2)
+
+	out := make([][]int64, len(ids))
+	in := make([][]int64, len(ids))
+	par.ForEach(len(ids), func(i int) {
+		out[i] = dedupCopy(v1[outRuns[i][0]:outRuns[i][1]])
+		in[i] = dedupCopy(v2[inRuns[i][0]:inRuns[i][1]])
+	})
+	return graph.BuildDirectedBulk(ids, in, out)
+}
+
+// ToUndirected converts an edge table to an undirected graph with the same
+// sort-first approach; each table row (u,v) contributes the edge {u,v},
+// duplicates and reverse duplicates collapse.
+func ToUndirected(t *table.Table, srcCol, dstCol string) (*graph.Undirected, error) {
+	srcs, dsts, err := edgeColumns(t, srcCol, dstCol)
+	if err != nil {
+		return nil, err
+	}
+	n := len(srcs)
+	keys := make([]int64, 2*n)
+	vals := make([]int64, 2*n)
+	copy(keys[:n], srcs)
+	copy(vals[:n], dsts)
+	copy(keys[n:], dsts)
+	copy(vals[n:], srcs)
+	par.SortPairs(keys, vals)
+
+	ids := uniqueSorted(keys)
+	runs := runOffsets(ids, keys)
+	adj := make([][]int64, len(ids))
+	par.ForEach(len(ids), func(i int) {
+		adj[i] = dedupCopy(vals[runs[i][0]:runs[i][1]])
+	})
+	return graph.BuildUndirectedBulk(ids, adj)
+}
+
+// NaiveToDirected is the per-edge-insert baseline the sort-first algorithm
+// is benchmarked against (ablation for the conversion design choice): it
+// simply calls AddEdge for every row, paying a hash lookup plus a sorted
+// insertion per edge.
+func NaiveToDirected(t *table.Table, srcCol, dstCol string) (*graph.Directed, error) {
+	srcs, dsts, err := edgeColumns(t, srcCol, dstCol)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.NewDirected()
+	for i := range srcs {
+		g.AddEdge(srcs[i], dsts[i])
+	}
+	return g, nil
+}
+
+// ToEdgeTable converts a directed graph to an edge table with the given
+// column names. Workers receive disjoint node partitions and write disjoint
+// pre-allocated output ranges, so the export runs in parallel without
+// synchronization. Edges are emitted in (source, destination) sorted order.
+func ToEdgeTable(g *graph.Directed, srcName, dstName string) (*table.Table, error) {
+	nodes := g.Nodes()
+	n := len(nodes)
+	offsets := make([]int64, n+1)
+	for i, id := range nodes {
+		offsets[i+1] = offsets[i] + int64(g.OutDeg(id))
+	}
+	total := offsets[n]
+	srcCol := make([]int64, total)
+	dstCol := make([]int64, total)
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			at := offsets[i]
+			id := nodes[i]
+			for _, dst := range g.OutNeighbors(id) {
+				srcCol[at] = id
+				dstCol[at] = dst
+				at++
+			}
+		}
+	})
+	return table.FromIntColumns([]string{srcName, dstName}, [][]int64{srcCol, dstCol})
+}
+
+// ToNodeTable converts a graph's node set to a single-column table of node
+// ids in ascending order.
+func ToNodeTable(g *graph.Directed, name string) (*table.Table, error) {
+	return table.FromIntColumns([]string{name}, [][]int64{g.Nodes()})
+}
+
+// ToUndirectedEdgeTable exports an undirected graph as an edge table with
+// one row per edge, src <= dst.
+func ToUndirectedEdgeTable(g *graph.Undirected, srcName, dstName string) (*table.Table, error) {
+	nodes := g.Nodes()
+	n := len(nodes)
+	offsets := make([]int64, n+1)
+	for i, id := range nodes {
+		// Count neighbors >= id: each edge emitted once from its smaller
+		// endpoint (self-loops once).
+		cnt := 0
+		for _, nbr := range g.Neighbors(id) {
+			if nbr >= id {
+				cnt++
+			}
+		}
+		offsets[i+1] = offsets[i] + int64(cnt)
+	}
+	total := offsets[n]
+	srcCol := make([]int64, total)
+	dstCol := make([]int64, total)
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			at := offsets[i]
+			id := nodes[i]
+			for _, nbr := range g.Neighbors(id) {
+				if nbr >= id {
+					srcCol[at] = id
+					dstCol[at] = nbr
+					at++
+				}
+			}
+		}
+	})
+	return table.FromIntColumns([]string{srcName, dstName}, [][]int64{srcCol, dstCol})
+}
+
+// edgeColumns fetches the two node-id columns backing an edge table.
+func edgeColumns(t *table.Table, srcCol, dstCol string) (srcs, dsts []int64, err error) {
+	srcs, err = t.IntCol(srcCol)
+	if err != nil {
+		return nil, nil, fmt.Errorf("conv: source column: %w", err)
+	}
+	dsts, err = t.IntCol(dstCol)
+	if err != nil {
+		return nil, nil, fmt.Errorf("conv: destination column: %w", err)
+	}
+	return srcs, dsts, nil
+}
+
+// mergeUniqueSorted returns the sorted union of the distinct values of two
+// sorted slices.
+func mergeUniqueSorted(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)/2+len(b)/2)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v int64
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] <= b[j]):
+			v = a[i]
+			i++
+		default:
+			v = b[j]
+			j++
+		}
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// uniqueSorted returns the distinct values of a sorted slice.
+func uniqueSorted(a []int64) []int64 {
+	out := make([]int64, 0, len(a)/2)
+	for i := 0; i < len(a); {
+		v := a[i]
+		out = append(out, v)
+		for i < len(a) && a[i] == v {
+			i++
+		}
+	}
+	return out
+}
+
+// runOffsets returns, for each id in ids (sorted unique), the [start, end)
+// range of its run in the sorted keys slice. Ids with no run get an empty
+// range.
+func runOffsets(ids, keys []int64) [][2]int {
+	runs := make([][2]int, len(ids))
+	p := 0
+	for i, id := range ids {
+		for p < len(keys) && keys[p] < id {
+			p++
+		}
+		start := p
+		for p < len(keys) && keys[p] == id {
+			p++
+		}
+		runs[i] = [2]int{start, p}
+	}
+	return runs
+}
+
+// dedupCopy copies a sorted slice, dropping adjacent duplicates. It returns
+// nil for empty input so empty adjacency vectors carry no allocation.
+func dedupCopy(a []int64) []int64 {
+	if len(a) == 0 {
+		return nil
+	}
+	out := make([]int64, 0, len(a))
+	prev := a[0] + 1 // differs from a[0]
+	for _, v := range a {
+		if v != prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	return out
+}

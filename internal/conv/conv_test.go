@@ -1,0 +1,345 @@
+package conv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ringo/internal/table"
+)
+
+func edgeTable(t *testing.T, edges ...[2]int64) *table.Table {
+	t.Helper()
+	src := make([]int64, len(edges))
+	dst := make([]int64, len(edges))
+	for i, e := range edges {
+		src[i], dst[i] = e[0], e[1]
+	}
+	tbl, err := table.FromIntColumns([]string{"src", "dst"}, [][]int64{src, dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestToDirectedBasic(t *testing.T) {
+	tbl := edgeTable(t, [2]int64{1, 2}, [2]int64{1, 3}, [2]int64{2, 3}, [2]int64{3, 1})
+	g, err := ToDirected(tbl, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("dims = (%d,%d)", g.NumNodes(), g.NumEdges())
+	}
+	for _, e := range [][2]int64{{1, 2}, {1, 3}, {2, 3}, {3, 1}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+	if g.HasEdge(2, 1) {
+		t.Fatal("reverse edge invented")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToDirectedDeduplicatesRows(t *testing.T) {
+	tbl := edgeTable(t, [2]int64{1, 2}, [2]int64{1, 2}, [2]int64{1, 2})
+	g, err := ToDirected(tbl, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1 after dedup", g.NumEdges())
+	}
+}
+
+func TestToDirectedSelfLoopsAndIsolatedSources(t *testing.T) {
+	tbl := edgeTable(t, [2]int64{5, 5}, [2]int64{7, 5})
+	g, err := ToDirected(tbl, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(5, 5) || !g.HasEdge(7, 5) {
+		t.Fatal("edges missing")
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToDirectedEmptyTable(t *testing.T) {
+	tbl, err := table.FromIntColumns([]string{"src", "dst"}, [][]int64{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ToDirected(tbl, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty table produced (%d,%d)", g.NumNodes(), g.NumEdges())
+	}
+	u, err := ToUndirected(tbl, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumNodes() != 0 {
+		t.Fatal("empty undirected conversion produced nodes")
+	}
+	back, err := ToEdgeTable(g, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 0 {
+		t.Fatal("empty graph export produced rows")
+	}
+}
+
+func TestToDirectedErrors(t *testing.T) {
+	tbl := edgeTable(t, [2]int64{1, 2})
+	if _, err := ToDirected(tbl, "nope", "dst"); err == nil {
+		t.Fatal("missing source column accepted")
+	}
+	if _, err := ToDirected(tbl, "src", "nope"); err == nil {
+		t.Fatal("missing destination column accepted")
+	}
+	ft := table.MustNew(table.Schema{{Name: "f", Type: table.Float}, {Name: "d", Type: table.Int}})
+	if _, err := ToDirected(ft, "f", "d"); err == nil {
+		t.Fatal("float source column accepted")
+	}
+}
+
+func TestToDirectedStringColumns(t *testing.T) {
+	tbl := table.MustNew(table.Schema{{Name: "a", Type: table.String}, {Name: "b", Type: table.String}})
+	for _, e := range [][2]string{{"x", "y"}, {"y", "z"}, {"x", "y"}} {
+		if err := tbl.AppendRow(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := ToDirected(tbl, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("string graph dims = (%d,%d)", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestToUndirectedMergesDirections(t *testing.T) {
+	tbl := edgeTable(t, [2]int64{1, 2}, [2]int64{2, 1}, [2]int64{2, 3}, [2]int64{4, 4})
+	g, err := ToUndirected(tbl, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 { // {1,2}, {2,3}, {4,4}
+		t.Fatalf("undirected edges = %d, want 3", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveMatchesSortFirst(t *testing.T) {
+	tbl := edgeTable(t,
+		[2]int64{1, 2}, [2]int64{3, 4}, [2]int64{1, 2}, [2]int64{4, 1}, [2]int64{2, 2})
+	fast, err := ToDirected(tbl, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveToDirected(tbl, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.NumNodes() != naive.NumNodes() || fast.NumEdges() != naive.NumEdges() {
+		t.Fatalf("fast (%d,%d) != naive (%d,%d)",
+			fast.NumNodes(), fast.NumEdges(), naive.NumNodes(), naive.NumEdges())
+	}
+	naive.ForEdges(func(src, dst int64) {
+		if !fast.HasEdge(src, dst) {
+			t.Fatalf("sort-first lost edge %d->%d", src, dst)
+		}
+	})
+}
+
+func TestToEdgeTableRoundTrip(t *testing.T) {
+	tbl := edgeTable(t, [2]int64{1, 2}, [2]int64{1, 3}, [2]int64{2, 3}, [2]int64{3, 1})
+	g, err := ToDirected(tbl, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ToEdgeTable(g, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(back.NumRows()) != g.NumEdges() {
+		t.Fatalf("edge table rows = %d, graph edges = %d", back.NumRows(), g.NumEdges())
+	}
+	g2, err := ToDirected(back, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed the graph")
+	}
+	g.ForEdges(func(src, dst int64) {
+		if !g2.HasEdge(src, dst) {
+			t.Fatalf("round trip lost %d->%d", src, dst)
+		}
+	})
+}
+
+func TestToNodeTable(t *testing.T) {
+	tbl := edgeTable(t, [2]int64{5, 1}, [2]int64{2, 5})
+	g, _ := ToDirected(tbl, "src", "dst")
+	nt, err := ToNodeTable(g, "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := nt.IntCol("node")
+	want := []int64{1, 2, 5}
+	if len(col) != len(want) {
+		t.Fatalf("node table = %v", col)
+	}
+	for i, v := range col {
+		if v != want[i] {
+			t.Fatalf("node table = %v, want %v", col, want)
+		}
+	}
+}
+
+func TestToUndirectedEdgeTable(t *testing.T) {
+	tbl := edgeTable(t, [2]int64{1, 2}, [2]int64{2, 1}, [2]int64{3, 3})
+	g, _ := ToUndirected(tbl, "src", "dst")
+	et, err := ToUndirectedEdgeTable(g, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(et.NumRows()) != g.NumEdges() {
+		t.Fatalf("edge table rows = %d, want %d", et.NumRows(), g.NumEdges())
+	}
+	a, _ := et.IntCol("a")
+	b, _ := et.IntCol("b")
+	for i := range a {
+		if a[i] > b[i] {
+			t.Fatalf("row %d not normalized: %d > %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: sort-first conversion equals a reference map-based edge-set
+// construction for arbitrary edge tables.
+func TestToDirectedMatchesReferenceProperty(t *testing.T) {
+	f := func(edges [][2]int8) bool {
+		src := make([]int64, len(edges))
+		dst := make([]int64, len(edges))
+		ref := map[[2]int64]bool{}
+		nodes := map[int64]bool{}
+		for i, e := range edges {
+			s, d := int64(e[0]%32), int64(e[1]%32)
+			src[i], dst[i] = s, d
+			ref[[2]int64{s, d}] = true
+			nodes[s], nodes[d] = true, true
+		}
+		tbl, err := table.FromIntColumns([]string{"s", "d"}, [][]int64{src, dst})
+		if err != nil {
+			return false
+		}
+		g, err := ToDirected(tbl, "s", "d")
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		if g.NumNodes() != len(nodes) || g.NumEdges() != int64(len(ref)) {
+			return false
+		}
+		for e := range ref {
+			if !g.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: table -> graph -> table -> graph is a fixed point.
+func TestConversionFixedPointProperty(t *testing.T) {
+	f := func(edges [][2]int8) bool {
+		src := make([]int64, len(edges))
+		dst := make([]int64, len(edges))
+		for i, e := range edges {
+			src[i], dst[i] = int64(e[0]%16), int64(e[1]%16)
+		}
+		tbl, err := table.FromIntColumns([]string{"s", "d"}, [][]int64{src, dst})
+		if err != nil {
+			return false
+		}
+		g1, err := ToDirected(tbl, "s", "d")
+		if err != nil {
+			return false
+		}
+		t2, err := ToEdgeTable(g1, "s", "d")
+		if err != nil {
+			return false
+		}
+		g2, err := ToDirected(t2, "s", "d")
+		if err != nil {
+			return false
+		}
+		if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+			return false
+		}
+		ok := true
+		g1.ForEdges(func(s, d int64) {
+			if !g2.HasEdge(s, d) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToDirectedLargeParallel(t *testing.T) {
+	// Large enough to engage parallel sorting and parallel vector fill.
+	const n = 30_000
+	src := make([]int64, n)
+	dst := make([]int64, n)
+	x := uint64(1)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		src[i] = int64(x % 2000)
+		dst[i] = int64((x >> 20) % 2000)
+	}
+	tbl, err := table.FromIntColumns([]string{"s", "d"}, [][]int64{src, dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ToDirected(tbl, "s", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveToDirected(tbl, "s", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != naive.NumEdges() || g.NumNodes() != naive.NumNodes() {
+		t.Fatalf("fast (%d,%d) != naive (%d,%d)",
+			g.NumNodes(), g.NumEdges(), naive.NumNodes(), naive.NumEdges())
+	}
+}

@@ -1,0 +1,68 @@
+package conv
+
+import (
+	"fmt"
+
+	"ringo/internal/graph"
+	"ringo/internal/table"
+)
+
+// ToNetwork converts an edge table to an attributed directed multigraph:
+// every row becomes its own edge (parallel edges are preserved, unlike
+// ToDirected), and each named attribute column is attached to the edge as a
+// typed attribute. This is Ringo's path for carrying row payloads —
+// timestamps, weights, labels — onto the graph so that analytics results
+// can be related back to the original records.
+func ToNetwork(t *table.Table, srcCol, dstCol string, attrCols ...string) (*graph.Network, error) {
+	srcs, dsts, err := edgeColumns(t, srcCol, dstCol)
+	if err != nil {
+		return nil, err
+	}
+	n := graph.NewNetwork()
+
+	type attrPlan struct {
+		name string
+		typ  table.Type
+		col  int
+	}
+	plans := make([]attrPlan, 0, len(attrCols))
+	for _, name := range attrCols {
+		i := t.ColIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("conv: no attribute column %q", name)
+		}
+		typ, _ := t.ColType(name)
+		var at graph.AttrType
+		switch typ {
+		case table.Int:
+			at = graph.AttrInt
+		case table.Float:
+			at = graph.AttrFloat
+		default:
+			at = graph.AttrString
+		}
+		if err := n.DeclareEdgeAttr(name, at); err != nil {
+			return nil, err
+		}
+		plans = append(plans, attrPlan{name, typ, i})
+	}
+
+	for row := range srcs {
+		eid := n.AddEdge(srcs[row], dsts[row])
+		for _, p := range plans {
+			var v any
+			switch p.typ {
+			case table.Int:
+				v = t.IntAt(p.col, row)
+			case table.Float:
+				v = t.FloatAt(p.col, row)
+			default:
+				v = t.StrAt(p.col, row)
+			}
+			if err := n.SetEdgeAttr(p.name, eid, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}

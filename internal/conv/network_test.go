@@ -1,0 +1,74 @@
+package conv
+
+import (
+	"testing"
+
+	"ringo/internal/table"
+)
+
+func TestToNetworkKeepsParallelEdgesAndAttrs(t *testing.T) {
+	tbl := table.MustNew(table.Schema{
+		{Name: "src", Type: table.Int},
+		{Name: "dst", Type: table.Int},
+		{Name: "w", Type: table.Float},
+		{Name: "kind", Type: table.String},
+		{Name: "ts", Type: table.Int},
+	})
+	rows := []struct {
+		src, dst int
+		w        float64
+		kind     string
+		ts       int
+	}{
+		{1, 2, 0.5, "follow", 100},
+		{1, 2, 0.9, "reply", 200}, // parallel edge
+		{2, 3, 0.1, "follow", 300},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r.src, r.dst, r.w, r.kind, r.ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := ToNetwork(tbl, "src", "dst", "w", "kind", "ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 3 || n.NumEdges() != 3 {
+		t.Fatalf("network dims = (%d,%d)", n.NumNodes(), n.NumEdges())
+	}
+	if len(n.OutEdges(1)) != 2 {
+		t.Fatal("parallel edges merged")
+	}
+	// Attributes preserved per edge, in row order of AddEdge ids.
+	for i, r := range rows {
+		eid := int32(i)
+		src, dst, ok := n.EdgeEnds(eid)
+		if !ok || src != int64(r.src) || dst != int64(r.dst) {
+			t.Fatalf("edge %d ends = (%d,%d,%v)", eid, src, dst, ok)
+		}
+		if v, _ := n.EdgeAttr("w", eid); v != r.w {
+			t.Fatalf("edge %d w = %v", eid, v)
+		}
+		if v, _ := n.EdgeAttr("kind", eid); v != r.kind {
+			t.Fatalf("edge %d kind = %v", eid, v)
+		}
+		if v, _ := n.EdgeAttr("ts", eid); v != int64(r.ts) {
+			t.Fatalf("edge %d ts = %v", eid, v)
+		}
+	}
+	// The simple-graph projection merges the parallel edge.
+	g := n.AsDirected()
+	if g.NumEdges() != 2 {
+		t.Fatalf("projected edges = %d", g.NumEdges())
+	}
+}
+
+func TestToNetworkErrors(t *testing.T) {
+	tbl := edgeTable(t, [2]int64{1, 2})
+	if _, err := ToNetwork(tbl, "src", "dst", "missing"); err == nil {
+		t.Fatal("missing attribute column accepted")
+	}
+	if _, err := ToNetwork(tbl, "nope", "dst"); err == nil {
+		t.Fatal("missing source column accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Package core is the Ringo engine: it ties the table store, the graph
+// store, the conversions and the algorithm library into the verb set the
+// paper's Python front-end exposes (LoadTableTSV, Select, Join, ToGraph,
+// GetPageRank, TableFromHashMap, ...). The root ringo package re-exports
+// this API; cmd/ringo drives it interactively; the experiment harness in
+// this package regenerates every table of the paper's evaluation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ringo/internal/algo"
+	"ringo/internal/conv"
+	"ringo/internal/graph"
+	"ringo/internal/table"
+)
+
+// ToGraph converts an edge table into Ringo's directed graph representation
+// with the parallel sort-first algorithm (§2.4).
+func ToGraph(t *table.Table, srcCol, dstCol string) (*graph.Directed, error) {
+	return conv.ToDirected(t, srcCol, dstCol)
+}
+
+// ToUGraph converts an edge table into an undirected graph.
+func ToUGraph(t *table.Table, srcCol, dstCol string) (*graph.Undirected, error) {
+	return conv.ToUndirected(t, srcCol, dstCol)
+}
+
+// ToTable converts a directed graph back into an edge table.
+func ToTable(g *graph.Directed, srcName, dstName string) (*table.Table, error) {
+	return conv.ToEdgeTable(g, srcName, dstName)
+}
+
+// ToNodeTable converts a graph's node set into a single-column table.
+func ToNodeTable(g *graph.Directed, name string) (*table.Table, error) {
+	return conv.ToNodeTable(g, name)
+}
+
+// GetPageRank runs 10 iterations of parallel PageRank with the standard
+// damping factor, the configuration timed in Table 3.
+func GetPageRank(g *graph.Directed) map[int64]float64 {
+	return algo.PageRank(g, algo.DefaultDamping, 10)
+}
+
+// TableFromMap builds a two-column table (key, score) from an algorithm
+// result map, sorted by descending score — the paper's TableFromHashMap,
+// closing the loop from graph analytics back to tables.
+func TableFromMap(m map[int64]float64, keyCol, valCol string) (*table.Table, error) {
+	type kv struct {
+		k int64
+		v float64
+	}
+	pairs := make([]kv, 0, len(m))
+	for k, v := range m {
+		pairs = append(pairs, kv{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].v != pairs[j].v {
+			return pairs[i].v > pairs[j].v
+		}
+		return pairs[i].k < pairs[j].k
+	})
+	keys := make([]int64, len(pairs))
+	vals := make([]float64, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p.k
+		vals[i] = p.v
+	}
+	t, err := table.FromIntColumns([]string{keyCol}, [][]int64{keys})
+	if err != nil {
+		return nil, err
+	}
+	if err := t.AddFloatColumn(valCol, vals); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// TableFromIntMap is TableFromMap for integer-valued results (component
+// labels, core numbers, hop distances).
+func TableFromIntMap(m map[int64]int, keyCol, valCol string) (*table.Table, error) {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	vals := make([]int64, len(keys))
+	for i, k := range keys {
+		vals[i] = int64(m[k])
+	}
+	return table.FromIntColumns([]string{keyCol, valCol}, [][]int64{keys, vals})
+}
+
+// Object is a value held in a Workspace: a table, a graph, or a score map.
+type Object struct {
+	Table  *table.Table
+	Graph  *graph.Directed
+	UGraph *graph.Undirected
+	Scores map[int64]float64
+}
+
+// Kind describes what an Object holds.
+func (o Object) Kind() string {
+	switch {
+	case o.Table != nil:
+		return "table"
+	case o.Graph != nil:
+		return "graph"
+	case o.UGraph != nil:
+		return "ugraph"
+	case o.Scores != nil:
+		return "scores"
+	default:
+		return "empty"
+	}
+}
+
+// Summary is a one-line description of the object for the shell.
+func (o Object) Summary() string {
+	switch {
+	case o.Table != nil:
+		return fmt.Sprintf("table  %d rows × %d cols  (%s)", o.Table.NumRows(), o.Table.NumCols(), schemaString(o.Table))
+	case o.Graph != nil:
+		return fmt.Sprintf("graph  %d nodes, %d edges (directed)", o.Graph.NumNodes(), o.Graph.NumEdges())
+	case o.UGraph != nil:
+		return fmt.Sprintf("graph  %d nodes, %d edges (undirected)", o.UGraph.NumNodes(), o.UGraph.NumEdges())
+	case o.Scores != nil:
+		return fmt.Sprintf("scores %d nodes", len(o.Scores))
+	default:
+		return "empty"
+	}
+}
+
+func schemaString(t *table.Table) string {
+	s := ""
+	for i, c := range t.Schema() {
+		if i > 0 {
+			s += ", "
+		}
+		s += c.Name + ":" + c.Type.String()
+	}
+	return s
+}
+
+// Workspace is a named-object registry backing the interactive shell — the
+// stand-in for the Python session in which Ringo objects live. Each binding
+// records its provenance (the operation that created it), extending Ringo's
+// fine-grained data tracking from rows to whole objects: ls shows how every
+// object in the session came to be.
+type Workspace struct {
+	objs  map[string]Object
+	prov  map[string]string
+	order []string
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		objs: make(map[string]Object),
+		prov: make(map[string]string),
+	}
+}
+
+// Set binds name to an object, replacing any previous binding.
+func (w *Workspace) Set(name string, o Object) {
+	w.SetWithProvenance(name, o, "")
+}
+
+// SetWithProvenance binds name to an object and records the operation that
+// produced it.
+func (w *Workspace) SetWithProvenance(name string, o Object, prov string) {
+	if _, exists := w.objs[name]; !exists {
+		w.order = append(w.order, name)
+	}
+	w.objs[name] = o
+	w.prov[name] = prov
+}
+
+// Provenance returns the recorded origin of a binding ("" if untracked).
+func (w *Workspace) Provenance(name string) string {
+	return w.prov[name]
+}
+
+// Get returns the object bound to name.
+func (w *Workspace) Get(name string) (Object, bool) {
+	o, ok := w.objs[name]
+	return o, ok
+}
+
+// Table returns the table bound to name or an error.
+func (w *Workspace) Table(name string) (*table.Table, error) {
+	o, ok := w.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("no object named %q", name)
+	}
+	if o.Table == nil {
+		return nil, fmt.Errorf("%q is a %s, not a table", name, o.Kind())
+	}
+	return o.Table, nil
+}
+
+// Graph returns the directed graph bound to name or an error.
+func (w *Workspace) Graph(name string) (*graph.Directed, error) {
+	o, ok := w.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("no object named %q", name)
+	}
+	if o.Graph == nil {
+		return nil, fmt.Errorf("%q is a %s, not a directed graph", name, o.Kind())
+	}
+	return o.Graph, nil
+}
+
+// Scores returns the score map bound to name or an error.
+func (w *Workspace) Scores(name string) (map[int64]float64, error) {
+	o, ok := w.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("no object named %q", name)
+	}
+	if o.Scores == nil {
+		return nil, fmt.Errorf("%q is a %s, not a score map", name, o.Kind())
+	}
+	return o.Scores, nil
+}
+
+// Names lists bound names in binding order.
+func (w *Workspace) Names() []string {
+	return append([]string(nil), w.order...)
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ringo/internal/gen"
+	"ringo/internal/table"
+)
+
+// Spec describes a synthetic benchmark dataset standing in for one of the
+// paper's experiment graphs (Table 2). The generator is R-MAT with the
+// canonical skew parameters, so the degree distribution matches the
+// LiveJournal/Twitter shape at any scale.
+type Spec struct {
+	// Name labels the dataset in reports (e.g. "lj-sim").
+	Name string
+	// PaperName is the dataset this one stands in for.
+	PaperName string
+	// RMATScale is the log2 of the node id space.
+	RMATScale int
+	// Edges is the number of generated edge rows (before deduplication).
+	Edges int64
+	// Seed fixes the generator.
+	Seed int64
+}
+
+// LJSim returns the LiveJournal stand-in (paper: 4.8M nodes, 69M edges)
+// scaled by factor: Edges = 69M × factor, node space sized to keep the
+// edges-per-node ratio of the original.
+func LJSim(factor float64) Spec {
+	return scaledSpec("lj-sim", "LiveJournal", 4.8e6, 69e6, factor, 101)
+}
+
+// TWSim returns the Twitter2010 stand-in (paper: 42M nodes, 1.5B edges)
+// scaled by factor.
+func TWSim(factor float64) Spec {
+	return scaledSpec("tw-sim", "Twitter2010", 42e6, 1.5e9, factor, 202)
+}
+
+func scaledSpec(name, paper string, nodes, edges, factor float64, seed int64) Spec {
+	if factor <= 0 {
+		panic("core: dataset scale factor must be positive")
+	}
+	n := nodes * factor
+	scale := int(math.Round(math.Log2(n)))
+	if scale < 4 {
+		scale = 4
+	}
+	if scale > 31 {
+		scale = 31
+	}
+	return Spec{
+		Name:      name,
+		PaperName: paper,
+		RMATScale: scale,
+		Edges:     int64(edges * factor),
+		Seed:      seed,
+	}
+}
+
+// EdgeTable generates the dataset's raw edge table.
+func (s Spec) EdgeTable() *table.Table {
+	return gen.RMATTable(s.RMATScale, s.Edges, s.Seed)
+}
+
+// specCache memoizes generated edge tables so one harness run generates
+// each dataset once.
+var specCache = map[string]*table.Table{}
+
+// CachedEdgeTable returns a shared generated edge table for the spec.
+// Callers must not mutate it (clone first for in-place operations).
+func (s Spec) CachedEdgeTable() *table.Table {
+	key := fmt.Sprintf("%s/%d/%d/%d", s.Name, s.RMATScale, s.Edges, s.Seed)
+	if t, ok := specCache[key]; ok {
+		return t
+	}
+	t := s.EdgeTable()
+	specCache[key] = t
+	return t
+}
+
+// Timed runs fn and returns its wall-clock duration.
+func Timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Rate formats a per-second processing rate ("13.0M/s") from a count and a
+// duration.
+func Rate(count int64, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	perSec := float64(count) / d.Seconds()
+	switch {
+	case perSec >= 1e9:
+		return fmt.Sprintf("%.1fB/s", perSec/1e9)
+	case perSec >= 1e6:
+		return fmt.Sprintf("%.1fM/s", perSec/1e6)
+	case perSec >= 1e3:
+		return fmt.Sprintf("%.1fK/s", perSec/1e3)
+	default:
+		return fmt.Sprintf("%.1f/s", perSec)
+	}
+}
+
+// MB formats a byte count in megabytes, the unit Table 2 uses.
+func MB(b int64) string {
+	return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+}
+
+// HeapDelta measures the extra heap consumed while fn runs: the peak live
+// heap sampled during execution minus the settled heap before it. It is the
+// "memory footprint" measurement from §3 (PageRank on Twitter2010 ran
+// within 2× the graph size). Sampling is approximate but stable enough for
+// the shape check.
+func HeapDelta(fn func()) int64 {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var peak atomic.Int64
+	peak.Store(int64(before.HeapAlloc))
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if h := int64(m.HeapAlloc); h > peak.Load() {
+					peak.Store(h)
+				}
+			}
+		}
+	}()
+	fn()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	close(done)
+	if h := int64(after.HeapAlloc); h > peak.Load() {
+		peak.Store(h)
+	}
+	delta := peak.Load() - int64(before.HeapAlloc)
+	if delta < 0 {
+		return 0
+	}
+	return delta
+}
+
+// Report is a formatted experiment result: a title, column headers, and
+// rows, printable in the layout of the paper's tables.
+type Report struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Print writes the report as an aligned text table.
+func (r Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	rule := make([]string, len(r.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// countingWriter measures serialized byte size (the "Text File Size" column
+// of Table 2) without materializing the file.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,260 @@
+// Package gen provides deterministic synthetic workload generators. The
+// module is offline, so the paper's evaluation datasets (LiveJournal,
+// Twitter2010, the StackOverflow dump) are replaced by generators that
+// reproduce their shapes: R-MAT / preferential-attachment graphs with
+// power-law degree skew for the graph workloads, and a Zipf-skewed Q&A
+// posts table for the §4.1 StackOverflow demo. All generators are seeded
+// and reproducible.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"ringo/internal/graph"
+	"ringo/internal/table"
+)
+
+// RMATEdges generates nEdges edges over a node id space of size 2^scale
+// with the R-MAT recursive-quadrant model (Chakrabarti et al.). The
+// canonical parameters a=0.57, b=0.19, c=0.19 reproduce the skewed degree
+// distributions of social graphs such as LiveJournal and Twitter. Duplicate
+// edges and self-loops may occur, as in real edge logs; graph conversion
+// deduplicates them.
+func RMATEdges(scale int, nEdges int64, a, b, c float64, seed int64) (src, dst []int64) {
+	if scale < 1 || scale > 40 {
+		panic("gen: RMAT scale out of range")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	src = make([]int64, nEdges)
+	dst = make([]int64, nEdges)
+	ab := a + b
+	abc := a + b + c
+	for i := int64(0); i < nEdges; i++ {
+		var s, d int64
+		for level := 0; level < scale; level++ {
+			r := rng.Float64()
+			s <<= 1
+			d <<= 1
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < ab:
+				d |= 1
+			case r < abc:
+				s |= 1
+			default:
+				s |= 1
+				d |= 1
+			}
+		}
+		src[i], dst[i] = s, d
+	}
+	return src, dst
+}
+
+// RMATTable generates an R-MAT edge table with columns src and dst, the raw
+// input format of the paper's benchmarks.
+func RMATTable(scale int, nEdges int64, seed int64) *table.Table {
+	src, dst := RMATEdges(scale, nEdges, 0.57, 0.19, 0.19, seed)
+	t, err := table.FromIntColumns([]string{"src", "dst"}, [][]int64{src, dst})
+	if err != nil {
+		panic(err) // generator-internal schema is always valid
+	}
+	return t
+}
+
+// GNM generates a uniform random directed graph with n nodes and m distinct
+// edges (Erdős–Rényi G(n,m)); self-loops excluded.
+func GNM(n int, m int64, seed int64) *graph.Directed {
+	if int64(n)*int64(n-1) < m {
+		panic("gen: GNM with more edges than node pairs")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewDirectedCap(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(int64(i))
+	}
+	var added int64
+	for added < m {
+		s := int64(rng.Intn(n))
+		d := int64(rng.Intn(n))
+		if s == d {
+			continue
+		}
+		if g.AddEdge(s, d) {
+			added++
+		}
+	}
+	return g
+}
+
+// GNP generates a uniform random directed graph where each ordered pair
+// (excluding self-loops) is an edge with probability p, using geometric
+// skip sampling so the cost is proportional to the number of edges.
+func GNP(n int, p float64, seed int64) *graph.Directed {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewDirectedCap(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(int64(i))
+	}
+	if p <= 0 {
+		return g
+	}
+	if p >= 1 {
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					g.AddEdge(int64(s), int64(d))
+				}
+			}
+		}
+		return g
+	}
+	// Walk the n*(n-1) candidate pairs with geometric gaps.
+	total := int64(n) * int64(n-1)
+	at := int64(-1)
+	for {
+		at += 1 + geometricSkip(rng, p)
+		if at >= total {
+			return g
+		}
+		s := at / int64(n-1)
+		r := at % int64(n-1)
+		d := r
+		if d >= s {
+			d++ // skip the diagonal
+		}
+		g.AddEdge(s, d)
+	}
+}
+
+// geometricSkip samples the number of failures before the next success of a
+// Bernoulli(p) sequence.
+func geometricSkip(rng *rand.Rand, p float64) int64 {
+	u := rng.Float64()
+	if u == 0 {
+		return 0
+	}
+	skip := int64(math.Floor(math.Log(u) / math.Log(1-p)))
+	if skip < 0 {
+		return 0
+	}
+	return skip
+}
+
+// BarabasiAlbert generates an undirected preferential-attachment graph: n
+// nodes arrive in sequence and each connects to m existing nodes chosen
+// proportionally to degree (the repeated-endpoints trick).
+func BarabasiAlbert(n, m int, seed int64) *graph.Undirected {
+	if m < 1 || n < m+1 {
+		panic("gen: BarabasiAlbert needs n > m >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewUndirectedCap(n)
+	// Seed clique of m+1 nodes.
+	endpoints := make([]int64, 0, 2*m*n)
+	for i := 0; i <= m; i++ {
+		g.AddNode(int64(i))
+	}
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			g.AddEdge(int64(i), int64(j))
+			endpoints = append(endpoints, int64(i), int64(j))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		g.AddNode(int64(v))
+		chosen := map[int64]bool{}
+		for len(chosen) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if t != int64(v) {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			g.AddEdge(int64(v), t)
+			endpoints = append(endpoints, int64(v), t)
+		}
+	}
+	return g
+}
+
+// WattsStrogatz generates a small-world graph: a ring of n nodes each
+// connected to its k nearest neighbors on each side, with every edge
+// rewired with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed int64) *graph.Undirected {
+	if k < 1 || n < 2*k+1 {
+		panic("gen: WattsStrogatz needs n >= 2k+1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewUndirectedCap(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(int64(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			dst := int64((i + j) % n)
+			src := int64(i)
+			if rng.Float64() < beta {
+				for tries := 0; tries < 32; tries++ {
+					cand := int64(rng.Intn(n))
+					if cand != src && !g.HasEdge(src, cand) {
+						dst = cand
+						break
+					}
+				}
+			}
+			g.AddEdge(src, dst)
+		}
+	}
+	return g
+}
+
+// Star returns a star with the hub as node 0 and the given number of
+// leaves, edges pointing leaf -> hub.
+func Star(leaves int) *graph.Directed {
+	g := graph.NewDirectedCap(leaves + 1)
+	for i := 1; i <= leaves; i++ {
+		g.AddEdge(int64(i), 0)
+	}
+	return g
+}
+
+// Ring returns a directed cycle of n nodes.
+func Ring(n int) *graph.Directed {
+	g := graph.NewDirectedCap(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(int64(i), int64((i+1)%n))
+	}
+	return g
+}
+
+// Grid returns an undirected rows×cols grid graph; node id = r*cols+c.
+func Grid(rows, cols int) *graph.Undirected {
+	g := graph.NewUndirectedCap(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := int64(r*cols + c)
+			g.AddNode(id)
+			if c+1 < cols {
+				g.AddEdge(id, id+1)
+			}
+			if r+1 < rows {
+				g.AddEdge(id, id+int64(cols))
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns the complete undirected graph on n nodes.
+func Complete(n int) *graph.Undirected {
+	g := graph.NewUndirectedCap(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(int64(i), int64(j))
+		}
+	}
+	return g
+}

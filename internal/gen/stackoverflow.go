@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringo/internal/table"
+)
+
+// SOConfig configures the synthetic StackOverflow-like posts table standing
+// in for the real dump used by the paper's §4.1 demo (8M questions, 14M
+// answers). User activity and tag popularity are Zipf-distributed, matching
+// the heavy skew of the real site.
+type SOConfig struct {
+	// Questions is the number of question posts.
+	Questions int
+	// MeanAnswers is the average number of answers per question.
+	MeanAnswers float64
+	// Users is the size of the user population.
+	Users int
+	// Tags is the tag vocabulary; nil selects a default list headed by
+	// "Java" so the demo query has matches.
+	Tags []string
+	// AcceptProb is the probability that a question accepts one of its
+	// answers.
+	AcceptProb float64
+	// Seed makes the table reproducible.
+	Seed int64
+}
+
+// DefaultSOConfig returns the configuration used by the examples: a small
+// but skewed Q&A corpus.
+func DefaultSOConfig() SOConfig {
+	return SOConfig{
+		Questions:   2000,
+		MeanAnswers: 1.8,
+		Users:       500,
+		AcceptProb:  0.7,
+		Seed:        1,
+	}
+}
+
+// SOSchema is the schema of the generated posts table, mirroring the demo:
+// questions carry the PostId of their accepted answer in AcceptedId (-1
+// when none) and -1 in ParentId; answers carry -1 in AcceptedId and their
+// question's PostId in ParentId. ParentId supports the demo's alternative
+// construction, "connect users who answered the same question".
+var SOSchema = table.Schema{
+	{Name: "PostId", Type: table.Int},
+	{Name: "Type", Type: table.String},
+	{Name: "UserId", Type: table.Int},
+	{Name: "Tag", Type: table.String},
+	{Name: "AcceptedId", Type: table.Int},
+	{Name: "ParentId", Type: table.Int},
+	{Name: "Score", Type: table.Float},
+}
+
+// StackOverflowPosts generates the posts table.
+func StackOverflowPosts(cfg SOConfig) (*table.Table, error) {
+	if cfg.Questions < 1 || cfg.Users < 1 {
+		return nil, fmt.Errorf("gen: StackOverflowPosts needs questions and users >= 1")
+	}
+	if cfg.MeanAnswers < 0 || cfg.AcceptProb < 0 || cfg.AcceptProb > 1 {
+		return nil, fmt.Errorf("gen: StackOverflowPosts config out of range")
+	}
+	tags := cfg.Tags
+	if tags == nil {
+		tags = []string{"Java", "Python", "Go", "C++", "JavaScript", "SQL", "Rust", "Haskell"}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	userZipf := rand.NewZipf(rng, 1.3, 1, uint64(cfg.Users-1))
+	tagZipf := rand.NewZipf(rng, 1.2, 1, uint64(len(tags)-1))
+
+	t, err := table.NewWithCapacity(SOSchema, cfg.Questions*3)
+	if err != nil {
+		return nil, err
+	}
+	nextPost := int64(1)
+	for q := 0; q < cfg.Questions; q++ {
+		qid := nextPost
+		nextPost++
+		asker := int64(userZipf.Uint64())
+		tag := tags[tagZipf.Uint64()]
+		nAnswers := rng.Intn(int(2*cfg.MeanAnswers) + 1)
+		answerIDs := make([]int64, 0, nAnswers)
+		answerUsers := make([]int64, 0, nAnswers)
+		for a := 0; a < nAnswers; a++ {
+			answerIDs = append(answerIDs, nextPost)
+			nextPost++
+			answerUsers = append(answerUsers, int64(userZipf.Uint64()))
+		}
+		accepted := int64(-1)
+		if len(answerIDs) > 0 && rng.Float64() < cfg.AcceptProb {
+			accepted = answerIDs[rng.Intn(len(answerIDs))]
+		}
+		if err := t.AppendRow(qid, "question", asker, tag, accepted, int64(-1), float64(rng.Intn(20))); err != nil {
+			return nil, err
+		}
+		for a, aid := range answerIDs {
+			if err := t.AppendRow(aid, "answer", answerUsers[a], tag, int64(-1), qid, float64(rng.Intn(40))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}

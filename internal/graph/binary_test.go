@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := sampleDirected()
+	g.AddNode(99) // isolated node survives
+	var buf bytes.Buffer
+	if err := SaveBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip dims = (%d,%d)", back.NumNodes(), back.NumEdges())
+	}
+	g.ForEdges(func(src, dst int64) {
+		if !back.HasEdge(src, dst) {
+			t.Fatalf("lost edge %d->%d", src, dst)
+		}
+	})
+	if !back.HasNode(99) {
+		t.Fatal("lost isolated node")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := LoadBinary(strings.NewReader("not a graph at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadBinary(strings.NewReader("RN")); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	// Correct magic, truncated header.
+	if _, err := LoadBinary(strings.NewReader("RNGO\x01\x00")); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Wrong version.
+	if _, err := LoadBinary(strings.NewReader("RNGO\x63\x00\x00\x00")); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestBinaryTruncatedBody(t *testing.T) {
+	g := sampleDirected()
+	var buf bytes.Buffer
+	if err := SaveBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) - 1, len(data) / 2, 20} {
+		if _, err := LoadBinary(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := sampleDirected()
+	path := t.TempDir() + "/g.rngo"
+	if err := SaveBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatal("file round trip edges")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(edges [][2]int8) bool {
+		g := NewDirected()
+		for _, e := range edges {
+			g.AddEdge(int64(e[0]%32), int64(e[1]%32))
+		}
+		var buf bytes.Buffer
+		if err := SaveBinary(&buf, g); err != nil {
+			return false
+		}
+		back, err := LoadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.ForEdges(func(src, dst int64) {
+			if !back.HasEdge(src, dst) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

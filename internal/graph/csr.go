@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// CSR is the Compressed Sparse Row representation discussed in §2.2: two
+// flat vectors — an offset vector indexed by dense node index and an edge
+// vector sorted by source. It is compact and fast to traverse but static:
+// deleting a single edge requires time linear in the total number of edges,
+// which is why Ringo adopts the hash-of-nodes design instead. CSR is kept
+// here as the ablation baseline for that design choice.
+type CSR struct {
+	ids    []int64 // dense index -> node id, ascending
+	idx    map[int64]int32
+	outOff []int64
+	outTgt []int32 // dense destination indices, sorted within a source
+	inOff  []int64
+	inTgt  []int32
+}
+
+// FromDirected builds a CSR snapshot of g.
+func FromDirected(g *Directed) *CSR {
+	ids := g.Nodes()
+	c := &CSR{
+		ids: ids,
+		idx: make(map[int64]int32, len(ids)),
+	}
+	for i, id := range ids {
+		c.idx[id] = int32(i)
+	}
+	n := len(ids)
+	c.outOff = make([]int64, n+1)
+	c.inOff = make([]int64, n+1)
+	for i, id := range ids {
+		c.outOff[i+1] = c.outOff[i] + int64(g.OutDeg(id))
+		c.inOff[i+1] = c.inOff[i] + int64(g.InDeg(id))
+	}
+	c.outTgt = make([]int32, c.outOff[n])
+	c.inTgt = make([]int32, c.inOff[n])
+	for i, id := range ids {
+		at := c.outOff[i]
+		for _, dst := range g.OutNeighbors(id) {
+			c.outTgt[at] = c.idx[dst]
+			at++
+		}
+		at = c.inOff[i]
+		for _, src := range g.InNeighbors(id) {
+			c.inTgt[at] = c.idx[src]
+			at++
+		}
+	}
+	return c
+}
+
+// NumNodes reports the number of nodes.
+func (c *CSR) NumNodes() int { return len(c.ids) }
+
+// NumEdges reports the number of directed edges.
+func (c *CSR) NumEdges() int64 { return int64(len(c.outTgt)) }
+
+// ID returns the node id at dense index i.
+func (c *CSR) ID(i int32) int64 { return c.ids[i] }
+
+// Index returns the dense index of a node id.
+func (c *CSR) Index(id int64) (int32, bool) {
+	i, ok := c.idx[id]
+	return i, ok
+}
+
+// OutNeighbors returns the dense destination indices of node i.
+func (c *CSR) OutNeighbors(i int32) []int32 {
+	return c.outTgt[c.outOff[i]:c.outOff[i+1]]
+}
+
+// InNeighbors returns the dense source indices of node i.
+func (c *CSR) InNeighbors(i int32) []int32 {
+	return c.inTgt[c.inOff[i]:c.inOff[i+1]]
+}
+
+// OutDeg returns the out-degree of dense index i.
+func (c *CSR) OutDeg(i int32) int { return int(c.outOff[i+1] - c.outOff[i]) }
+
+// InDeg returns the in-degree of dense index i.
+func (c *CSR) InDeg(i int32) int { return int(c.inOff[i+1] - c.inOff[i]) }
+
+// HasEdge reports whether src->dst exists (ids, not dense indices).
+func (c *CSR) HasEdge(src, dst int64) bool {
+	si, ok := c.idx[src]
+	if !ok {
+		return false
+	}
+	di, ok := c.idx[dst]
+	if !ok {
+		return false
+	}
+	_, found := slices.BinarySearch(c.OutNeighbors(si), di)
+	return found
+}
+
+// DelEdge removes the edge src->dst by compacting both flat edge vectors —
+// deliberately the O(E) operation the paper attributes to CSR maintenance.
+// It reports whether the edge existed.
+func (c *CSR) DelEdge(src, dst int64) bool {
+	si, ok := c.idx[src]
+	if !ok {
+		return false
+	}
+	di, ok := c.idx[dst]
+	if !ok {
+		return false
+	}
+	rel, found := slices.BinarySearch(c.OutNeighbors(si), di)
+	if !found {
+		return false
+	}
+	pos := c.outOff[si] + int64(rel)
+	c.outTgt = slices.Delete(c.outTgt, int(pos), int(pos)+1)
+	for i := int(si) + 1; i < len(c.outOff); i++ {
+		c.outOff[i]--
+	}
+	rel, _ = slices.BinarySearch(c.InNeighbors(di), si)
+	pos = c.inOff[di] + int64(rel)
+	c.inTgt = slices.Delete(c.inTgt, int(pos), int(pos)+1)
+	for i := int(di) + 1; i < len(c.inOff); i++ {
+		c.inOff[i]--
+	}
+	return true
+}
+
+// Bytes estimates the in-memory size of the CSR structure.
+func (c *CSR) Bytes() int64 {
+	return int64(cap(c.ids))*8 +
+		int64(cap(c.outOff)+cap(c.inOff))*8 +
+		int64(cap(c.outTgt)+cap(c.inTgt))*4 +
+		int64(len(c.idx))*16
+}
+
+// Validate checks CSR structural invariants (monotone offsets, in/out edge
+// counts equal, targets in range); used by tests and property checks.
+func (c *CSR) Validate() error {
+	n := len(c.ids)
+	if len(c.outOff) != n+1 || len(c.inOff) != n+1 {
+		return fmt.Errorf("csr: offset vector length mismatch")
+	}
+	if c.outOff[n] != int64(len(c.outTgt)) || c.inOff[n] != int64(len(c.inTgt)) {
+		return fmt.Errorf("csr: final offset does not match edge vector length")
+	}
+	if len(c.outTgt) != len(c.inTgt) {
+		return fmt.Errorf("csr: out edges %d != in edges %d", len(c.outTgt), len(c.inTgt))
+	}
+	for i := 0; i < n; i++ {
+		if c.outOff[i] > c.outOff[i+1] || c.inOff[i] > c.inOff[i+1] {
+			return fmt.Errorf("csr: offsets not monotone at %d", i)
+		}
+	}
+	for _, t := range c.outTgt {
+		if t < 0 || int(t) >= n {
+			return fmt.Errorf("csr: out target %d out of range", t)
+		}
+	}
+	for _, t := range c.inTgt {
+		if t < 0 || int(t) >= n {
+			return fmt.Errorf("csr: in target %d out of range", t)
+		}
+	}
+	return nil
+}

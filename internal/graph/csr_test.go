@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleDirected() *Directed {
+	g := NewDirected()
+	g.AddEdge(10, 20)
+	g.AddEdge(10, 30)
+	g.AddEdge(20, 30)
+	g.AddEdge(30, 10)
+	return g
+}
+
+func TestCSRFromDirected(t *testing.T) {
+	g := sampleDirected()
+	c := FromDirected(g)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 3 || c.NumEdges() != 4 {
+		t.Fatalf("csr dims = (%d,%d)", c.NumNodes(), c.NumEdges())
+	}
+	i, ok := c.Index(10)
+	if !ok {
+		t.Fatal("Index(10) missing")
+	}
+	if c.OutDeg(i) != 2 || c.InDeg(i) != 1 {
+		t.Fatalf("node 10 degrees = (%d,%d)", c.OutDeg(i), c.InDeg(i))
+	}
+	// Every directed edge is present in CSR.
+	g.ForEdges(func(src, dst int64) {
+		if !c.HasEdge(src, dst) {
+			t.Fatalf("csr lost edge %d->%d", src, dst)
+		}
+	})
+	if c.HasEdge(20, 10) || c.HasEdge(99, 10) {
+		t.Fatal("csr invented an edge")
+	}
+}
+
+func TestCSRNeighborsDense(t *testing.T) {
+	g := sampleDirected()
+	c := FromDirected(g)
+	i, _ := c.Index(10)
+	for _, d := range c.OutNeighbors(i) {
+		id := c.ID(d)
+		if id != 20 && id != 30 {
+			t.Fatalf("unexpected neighbor %d", id)
+		}
+	}
+	for _, s := range c.InNeighbors(i) {
+		if c.ID(s) != 30 {
+			t.Fatalf("unexpected in-neighbor %d", c.ID(s))
+		}
+	}
+}
+
+func TestCSRDelEdge(t *testing.T) {
+	g := sampleDirected()
+	c := FromDirected(g)
+	if !c.DelEdge(10, 20) {
+		t.Fatal("DelEdge existing failed")
+	}
+	if c.DelEdge(10, 20) || c.DelEdge(99, 1) || c.DelEdge(10, 99) {
+		t.Fatal("DelEdge of absent edge returned true")
+	}
+	if c.NumEdges() != 3 || c.HasEdge(10, 20) {
+		t.Fatalf("after delete: %d edges", c.NumEdges())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining edges intact.
+	for _, e := range [][2]int64{{10, 30}, {20, 30}, {30, 10}} {
+		if !c.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestCSRBytesSmallerThanDynamicGraph(t *testing.T) {
+	g := NewDirected()
+	for i := int64(0); i < 2000; i++ {
+		g.AddEdge(i, (i*7)%2000)
+		g.AddEdge(i, (i*13)%2000)
+	}
+	c := FromDirected(g)
+	if c.Bytes() >= g.Bytes() {
+		t.Fatalf("CSR (%d bytes) not smaller than dynamic graph (%d bytes)", c.Bytes(), g.Bytes())
+	}
+}
+
+// Property: CSR round-trips the edge set of any directed graph.
+func TestCSRRoundTripProperty(t *testing.T) {
+	f := func(edges [][2]int8) bool {
+		g := NewDirected()
+		for _, e := range edges {
+			g.AddEdge(int64(e[0]%16), int64(e[1]%16))
+		}
+		c := FromDirected(g)
+		if c.Validate() != nil {
+			return false
+		}
+		if int64(c.NumEdges()) != g.NumEdges() || c.NumNodes() != g.NumNodes() {
+			return false
+		}
+		ok := true
+		g.ForEdges(func(src, dst int64) {
+			if !c.HasEdge(src, dst) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

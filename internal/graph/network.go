@@ -1,0 +1,305 @@
+package graph
+
+import (
+	"fmt"
+
+	"ringo/internal/strpool"
+)
+
+// AttrType enumerates attribute value types on a Network.
+type AttrType uint8
+
+// Attribute types.
+const (
+	AttrInt AttrType = iota
+	AttrFloat
+	AttrString
+)
+
+type attrCol struct {
+	typ    AttrType
+	ints   []int64
+	floats []float64
+}
+
+func (c *attrCol) grow(n int) {
+	switch c.typ {
+	case AttrFloat:
+		for len(c.floats) < n {
+			c.floats = append(c.floats, 0)
+		}
+	default:
+		for len(c.ints) < n {
+			c.ints = append(c.ints, attrUnsetStr)
+		}
+	}
+}
+
+// attrUnsetStr marks an unset string attribute cell (pool ids are >= 0).
+// Int attribute cells share the storage; their zero value is attrUnsetStr
+// too, so Int attributes read as 0 when unset via the accessor.
+const attrUnsetStr = -1
+
+// Network is a directed multigraph with typed node and edge attributes,
+// modeled after SNAP's TNEANet. Unlike Directed it permits parallel edges:
+// every edge has a persistent integer id, and adjacency vectors store edge
+// ids. Attributes are stored column-wise, the same layout as Ringo tables,
+// so graph results integrate cheaply with table processing.
+type Network struct {
+	idx      map[int64]int32
+	ids      []int64
+	outEdges [][]int32
+	inEdges  [][]int32
+	eSrc     []int64
+	eDst     []int64
+	eAlive   []bool
+	nEdges   int64
+	nodeAttr map[string]*attrCol // indexed by node slot
+	edgeAttr map[string]*attrCol // indexed by edge id
+	pool     *strpool.Pool
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		idx:      make(map[int64]int32),
+		nodeAttr: make(map[string]*attrCol),
+		edgeAttr: make(map[string]*attrCol),
+		pool:     strpool.New(0),
+	}
+}
+
+// NumNodes reports the number of nodes.
+func (n *Network) NumNodes() int { return len(n.idx) }
+
+// NumEdges reports the number of live edges.
+func (n *Network) NumEdges() int64 { return n.nEdges }
+
+// HasNode reports whether id is a node.
+func (n *Network) HasNode(id int64) bool {
+	_, ok := n.idx[id]
+	return ok
+}
+
+// AddNode adds a node and reports whether it was newly added.
+func (n *Network) AddNode(id int64) bool {
+	if _, ok := n.idx[id]; ok {
+		return false
+	}
+	slot := int32(len(n.ids))
+	n.ids = append(n.ids, id)
+	n.outEdges = append(n.outEdges, nil)
+	n.inEdges = append(n.inEdges, nil)
+	n.idx[id] = slot
+	return true
+}
+
+// AddEdge adds a directed edge src->dst (parallel edges allowed), creating
+// missing endpoints, and returns its persistent edge id.
+func (n *Network) AddEdge(src, dst int64) int32 {
+	n.AddNode(src)
+	n.AddNode(dst)
+	eid := int32(len(n.eSrc))
+	n.eSrc = append(n.eSrc, src)
+	n.eDst = append(n.eDst, dst)
+	n.eAlive = append(n.eAlive, true)
+	n.outEdges[n.idx[src]] = append(n.outEdges[n.idx[src]], eid)
+	n.inEdges[n.idx[dst]] = append(n.inEdges[n.idx[dst]], eid)
+	n.nEdges++
+	return eid
+}
+
+// DelEdge removes the edge with the given id, reporting whether it was
+// live. Edge ids are never reused.
+func (n *Network) DelEdge(eid int32) bool {
+	if int(eid) >= len(n.eAlive) || !n.eAlive[eid] {
+		return false
+	}
+	n.eAlive[eid] = false
+	ss := n.idx[n.eSrc[eid]]
+	n.outEdges[ss] = removeEdgeID(n.outEdges[ss], eid)
+	ds := n.idx[n.eDst[eid]]
+	n.inEdges[ds] = removeEdgeID(n.inEdges[ds], eid)
+	n.nEdges--
+	return true
+}
+
+func removeEdgeID(a []int32, eid int32) []int32 {
+	for i, v := range a {
+		if v == eid {
+			return append(a[:i], a[i+1:]...)
+		}
+	}
+	return a
+}
+
+// EdgeEnds returns the endpoints of a live edge.
+func (n *Network) EdgeEnds(eid int32) (src, dst int64, ok bool) {
+	if int(eid) >= len(n.eAlive) || !n.eAlive[eid] {
+		return 0, 0, false
+	}
+	return n.eSrc[eid], n.eDst[eid], true
+}
+
+// OutEdges returns the ids of edges leaving node id (graph-owned storage).
+func (n *Network) OutEdges(id int64) []int32 {
+	if s, ok := n.idx[id]; ok {
+		return n.outEdges[s]
+	}
+	return nil
+}
+
+// InEdges returns the ids of edges entering node id.
+func (n *Network) InEdges(id int64) []int32 {
+	if s, ok := n.idx[id]; ok {
+		return n.inEdges[s]
+	}
+	return nil
+}
+
+// ForEdges calls fn for every live edge.
+func (n *Network) ForEdges(fn func(eid int32, src, dst int64)) {
+	for eid := range n.eSrc {
+		if n.eAlive[eid] {
+			fn(int32(eid), n.eSrc[eid], n.eDst[eid])
+		}
+	}
+}
+
+// ForNodes calls fn for every node id.
+func (n *Network) ForNodes(fn func(id int64)) {
+	for _, id := range n.ids {
+		fn(id)
+	}
+}
+
+// DeclareNodeAttr registers a node attribute column of the given type. It
+// errors if the name is already declared with a different type.
+func (n *Network) DeclareNodeAttr(name string, typ AttrType) error {
+	return declareAttr(n.nodeAttr, name, typ)
+}
+
+// DeclareEdgeAttr registers an edge attribute column.
+func (n *Network) DeclareEdgeAttr(name string, typ AttrType) error {
+	return declareAttr(n.edgeAttr, name, typ)
+}
+
+func declareAttr(m map[string]*attrCol, name string, typ AttrType) error {
+	if c, ok := m[name]; ok {
+		if c.typ != typ {
+			return fmt.Errorf("graph: attribute %q already declared with different type", name)
+		}
+		return nil
+	}
+	m[name] = &attrCol{typ: typ}
+	return nil
+}
+
+// SetNodeAttr sets a declared node attribute for node id.
+func (n *Network) SetNodeAttr(name string, id int64, val any) error {
+	s, ok := n.idx[id]
+	if !ok {
+		return fmt.Errorf("graph: no node %d", id)
+	}
+	c, ok := n.nodeAttr[name]
+	if !ok {
+		return fmt.Errorf("graph: node attribute %q not declared", name)
+	}
+	return n.setAttr(c, int(s), val, name)
+}
+
+// SetEdgeAttr sets a declared edge attribute for a live edge.
+func (n *Network) SetEdgeAttr(name string, eid int32, val any) error {
+	if int(eid) >= len(n.eAlive) || !n.eAlive[eid] {
+		return fmt.Errorf("graph: no edge %d", eid)
+	}
+	c, ok := n.edgeAttr[name]
+	if !ok {
+		return fmt.Errorf("graph: edge attribute %q not declared", name)
+	}
+	return n.setAttr(c, int(eid), val, name)
+}
+
+func (n *Network) setAttr(c *attrCol, at int, val any, name string) error {
+	c.grow(at + 1)
+	switch c.typ {
+	case AttrInt:
+		switch v := val.(type) {
+		case int:
+			c.ints[at] = int64(v)
+		case int64:
+			c.ints[at] = int64(v)
+		default:
+			return fmt.Errorf("graph: attribute %q expects int, got %T", name, val)
+		}
+	case AttrFloat:
+		switch v := val.(type) {
+		case float64:
+			c.floats[at] = v
+		case int:
+			c.floats[at] = float64(v)
+		default:
+			return fmt.Errorf("graph: attribute %q expects float, got %T", name, val)
+		}
+	default:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("graph: attribute %q expects string, got %T", name, val)
+		}
+		c.ints[at] = int64(n.pool.Intern(s))
+	}
+	return nil
+}
+
+// NodeAttr returns the attribute value for node id; ok is false when the
+// node or attribute is missing or the cell was never set (string type) —
+// numeric cells default to zero.
+func (n *Network) NodeAttr(name string, id int64) (any, bool) {
+	s, okN := n.idx[id]
+	c, okA := n.nodeAttr[name]
+	if !okN || !okA {
+		return nil, false
+	}
+	return n.getAttr(c, int(s))
+}
+
+// EdgeAttr returns the attribute value for a live edge.
+func (n *Network) EdgeAttr(name string, eid int32) (any, bool) {
+	if int(eid) >= len(n.eAlive) || !n.eAlive[eid] {
+		return nil, false
+	}
+	c, ok := n.edgeAttr[name]
+	if !ok {
+		return nil, false
+	}
+	return n.getAttr(c, int(eid))
+}
+
+func (n *Network) getAttr(c *attrCol, at int) (any, bool) {
+	switch c.typ {
+	case AttrFloat:
+		if at >= len(c.floats) {
+			return float64(0), true
+		}
+		return c.floats[at], true
+	case AttrInt:
+		if at >= len(c.ints) || c.ints[at] == attrUnsetStr {
+			return int64(0), true
+		}
+		return c.ints[at], true
+	default:
+		if at >= len(c.ints) || c.ints[at] == attrUnsetStr {
+			return "", false
+		}
+		return n.pool.Get(int32(c.ints[at])), true
+	}
+}
+
+// AsDirected returns the simple directed graph underlying the network
+// (parallel edges merged).
+func (n *Network) AsDirected() *Directed {
+	g := NewDirectedCap(n.NumNodes())
+	n.ForNodes(func(id int64) { g.AddNode(id) })
+	n.ForEdges(func(_ int32, src, dst int64) { g.AddEdge(src, dst) })
+	return g
+}

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNetworkParallelEdges(t *testing.T) {
+	n := NewNetwork()
+	e1 := n.AddEdge(1, 2)
+	e2 := n.AddEdge(1, 2)
+	if e1 == e2 {
+		t.Fatal("parallel edges share an id")
+	}
+	if n.NumEdges() != 2 || n.NumNodes() != 2 {
+		t.Fatalf("dims = (%d,%d)", n.NumNodes(), n.NumEdges())
+	}
+	if len(n.OutEdges(1)) != 2 || len(n.InEdges(2)) != 2 {
+		t.Fatal("edge lists wrong")
+	}
+}
+
+func TestNetworkDelEdge(t *testing.T) {
+	n := NewNetwork()
+	e1 := n.AddEdge(1, 2)
+	e2 := n.AddEdge(1, 2)
+	if !n.DelEdge(e1) {
+		t.Fatal("DelEdge failed")
+	}
+	if n.DelEdge(e1) || n.DelEdge(999) {
+		t.Fatal("DelEdge of dead/absent edge returned true")
+	}
+	if n.NumEdges() != 1 {
+		t.Fatalf("edges = %d", n.NumEdges())
+	}
+	if _, _, ok := n.EdgeEnds(e1); ok {
+		t.Fatal("dead edge still has endpoints")
+	}
+	src, dst, ok := n.EdgeEnds(e2)
+	if !ok || src != 1 || dst != 2 {
+		t.Fatalf("EdgeEnds = (%d,%d,%v)", src, dst, ok)
+	}
+}
+
+func TestNetworkAttributes(t *testing.T) {
+	n := NewNetwork()
+	eid := n.AddEdge(1, 2)
+	if err := n.DeclareNodeAttr("name", AttrString); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeclareNodeAttr("score", AttrFloat); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeclareEdgeAttr("weight", AttrInt); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetNodeAttr("name", 1, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetNodeAttr("score", 2, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetEdgeAttr("weight", eid, 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := n.NodeAttr("name", 1); !ok || v != "alice" {
+		t.Fatalf("name = (%v,%v)", v, ok)
+	}
+	if v, ok := n.NodeAttr("score", 2); !ok || v != 0.75 {
+		t.Fatalf("score = (%v,%v)", v, ok)
+	}
+	if v, ok := n.EdgeAttr("weight", eid); !ok || v != int64(9) {
+		t.Fatalf("weight = (%v,%v)", v, ok)
+	}
+	// Unset string attribute reads as not-ok; numeric defaults to zero.
+	if _, ok := n.NodeAttr("name", 2); ok {
+		t.Fatal("unset string attribute reported ok")
+	}
+	if v, ok := n.NodeAttr("score", 1); !ok || v != 0.0 {
+		t.Fatalf("unset float attribute = (%v,%v)", v, ok)
+	}
+}
+
+func TestNetworkAttributeErrors(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode(1)
+	if err := n.DeclareNodeAttr("x", AttrInt); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeclareNodeAttr("x", AttrFloat); err == nil {
+		t.Fatal("redeclaration with new type accepted")
+	}
+	if err := n.DeclareNodeAttr("x", AttrInt); err != nil {
+		t.Fatal("idempotent redeclaration rejected")
+	}
+	if err := n.SetNodeAttr("y", 1, 5); err == nil {
+		t.Fatal("undeclared attribute accepted")
+	}
+	if err := n.SetNodeAttr("x", 99, 5); err == nil {
+		t.Fatal("attribute on missing node accepted")
+	}
+	if err := n.SetNodeAttr("x", 1, "str"); err == nil {
+		t.Fatal("type-mismatched value accepted")
+	}
+	if _, ok := n.NodeAttr("missing", 1); ok {
+		t.Fatal("missing attribute reported ok")
+	}
+}
+
+func TestNetworkAsDirected(t *testing.T) {
+	n := NewNetwork()
+	n.AddEdge(1, 2)
+	n.AddEdge(1, 2) // parallel, merges
+	n.AddEdge(2, 3)
+	n.AddNode(99)
+	g := n.AsDirected()
+	if g.NumNodes() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("AsDirected dims = (%d,%d)", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkForEdgesSkipsDead(t *testing.T) {
+	n := NewNetwork()
+	e1 := n.AddEdge(1, 2)
+	n.AddEdge(2, 3)
+	n.DelEdge(e1)
+	count := 0
+	n.ForEdges(func(eid int32, src, dst int64) { count++ })
+	if count != 1 {
+		t.Fatalf("ForEdges visited %d, want 1", count)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := sampleDirected()
+	var sb strings.Builder
+	if err := SaveEdgeList(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip dims = (%d,%d)", back.NumNodes(), back.NumEdges())
+	}
+	g.ForEdges(func(src, dst int64) {
+		if !back.HasEdge(src, dst) {
+			t.Fatalf("round trip lost %d->%d", src, dst)
+		}
+	})
+}
+
+func TestLoadEdgeListFormat(t *testing.T) {
+	in := "# comment\n\n1\t2\n3 4\n  5   6  \n"
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if _, err := LoadEdgeList(strings.NewReader("1\n")); err == nil {
+		t.Fatal("single-field line accepted")
+	}
+	if _, err := LoadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("non-integer accepted")
+	}
+}
+
+func TestEdgeListFileRoundTrip(t *testing.T) {
+	g := sampleDirected()
+	path := t.TempDir() + "/edges.tsv"
+	if err := SaveEdgeListFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("file round trip edges = %d", back.NumEdges())
+	}
+}

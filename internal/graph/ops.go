@@ -1,0 +1,66 @@
+package graph
+
+// Subgraph returns the subgraph of g induced by the given node ids (absent
+// ids are ignored): the kept nodes and every edge whose endpoints are both
+// kept.
+func Subgraph(g *Directed, ids []int64) *Directed {
+	keep := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if g.HasNode(id) {
+			keep[id] = true
+		}
+	}
+	sub := NewDirectedCap(len(keep))
+	for id := range keep {
+		sub.AddNode(id)
+	}
+	for id := range keep {
+		for _, dst := range g.OutNeighbors(id) {
+			if keep[dst] {
+				sub.AddEdge(id, dst)
+			}
+		}
+	}
+	return sub
+}
+
+// SubgraphUndirected returns the induced undirected subgraph.
+func SubgraphUndirected(g *Undirected, ids []int64) *Undirected {
+	keep := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if g.HasNode(id) {
+			keep[id] = true
+		}
+	}
+	sub := NewUndirectedCap(len(keep))
+	for id := range keep {
+		sub.AddNode(id)
+	}
+	for id := range keep {
+		for _, nbr := range g.Neighbors(id) {
+			if nbr >= id && keep[nbr] {
+				sub.AddEdge(id, nbr)
+			}
+		}
+	}
+	return sub
+}
+
+// Reverse returns a new directed graph with every edge direction flipped.
+func Reverse(g *Directed) *Directed {
+	out := NewDirectedCap(g.NumNodes())
+	g.ForNodes(func(id int64) { out.AddNode(id) })
+	g.ForEdges(func(src, dst int64) { out.AddEdge(dst, src) })
+	return out
+}
+
+// Union returns a new directed graph containing the nodes and edges of both
+// inputs.
+func Union(a, b *Directed) *Directed {
+	out := NewDirectedCap(a.NumNodes() + b.NumNodes())
+	a.ForNodes(func(id int64) { out.AddNode(id) })
+	b.ForNodes(func(id int64) { out.AddNode(id) })
+	a.ForEdges(func(src, dst int64) { out.AddEdge(src, dst) })
+	b.ForEdges(func(src, dst int64) { out.AddEdge(src, dst) })
+	return out
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSubgraphInduced(t *testing.T) {
+	g := NewDirected()
+	for _, e := range [][2]int64{{1, 2}, {2, 3}, {3, 1}, {3, 4}, {4, 5}} {
+		g.AddEdge(e[0], e[1])
+	}
+	sub := Subgraph(g, []int64{1, 2, 3, 99})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("subgraph nodes = %d", sub.NumNodes())
+	}
+	if sub.NumEdges() != 3 { // the triangle
+		t.Fatalf("subgraph edges = %d", sub.NumEdges())
+	}
+	if sub.HasEdge(3, 4) || sub.HasNode(99) {
+		t.Fatal("subgraph leaked excluded nodes")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if g.NumEdges() != 5 {
+		t.Fatal("Subgraph mutated input")
+	}
+}
+
+func TestSubgraphUndirected(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 3)
+	sub := SubgraphUndirected(g, []int64{2, 3})
+	if sub.NumNodes() != 2 || sub.NumEdges() != 2 { // {2,3} and {3,3}
+		t.Fatalf("subgraph = (%d nodes, %d edges)", sub.NumNodes(), sub.NumEdges())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddNode(9)
+	r := Reverse(g)
+	if r.NumNodes() != g.NumNodes() || r.NumEdges() != g.NumEdges() {
+		t.Fatal("reverse changed dimensions")
+	}
+	if !r.HasEdge(2, 1) || !r.HasEdge(3, 2) || r.HasEdge(1, 2) {
+		t.Fatal("edges not reversed")
+	}
+	if !r.HasNode(9) {
+		t.Fatal("isolated node lost")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseInvolutionProperty(t *testing.T) {
+	f := func(edges [][2]int8) bool {
+		g := NewDirected()
+		for _, e := range edges {
+			g.AddEdge(int64(e[0]%16), int64(e[1]%16))
+		}
+		rr := Reverse(Reverse(g))
+		if rr.NumNodes() != g.NumNodes() || rr.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.ForEdges(func(s, d int64) {
+			if !rr.HasEdge(s, d) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewDirected()
+	a.AddEdge(1, 2)
+	b := NewDirected()
+	b.AddEdge(1, 2) // shared
+	b.AddEdge(2, 3)
+	b.AddNode(50)
+	u := Union(a, b)
+	if u.NumNodes() != 4 || u.NumEdges() != 2 {
+		t.Fatalf("union dims = (%d,%d)", u.NumNodes(), u.NumEdges())
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUndirectedBasics(t *testing.T) {
+	g := NewUndirected()
+	if !g.AddEdge(1, 2) || g.AddEdge(2, 1) {
+		t.Fatal("undirected edge not symmetric on insert")
+	}
+	if g.NumEdges() != 1 || g.NumNodes() != 2 {
+		t.Fatalf("dims = (%d,%d)", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("HasEdge not symmetric")
+	}
+	if g.Deg(1) != 1 || g.Deg(2) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndirectedSelfLoop(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge(3, 3)
+	if g.NumEdges() != 1 || g.Deg(3) != 1 {
+		t.Fatalf("self-loop: edges=%d deg=%d", g.NumEdges(), g.Deg(3))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.DelEdge(3, 3) || g.NumEdges() != 0 {
+		t.Fatal("self-loop delete failed")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndirectedDelNode(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 3)
+	if !g.DelNode(2) {
+		t.Fatal("DelNode failed")
+	}
+	if g.NumEdges() != 1 || !g.HasEdge(1, 3) {
+		t.Fatalf("after DelNode: %d edges", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndirectedDelEdgeSymmetric(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge(1, 2)
+	if !g.DelEdge(2, 1) {
+		t.Fatal("DelEdge via reversed endpoints failed")
+	}
+	if g.HasEdge(1, 2) || g.NumEdges() != 0 {
+		t.Fatal("edge survived delete")
+	}
+	if g.DelEdge(1, 2) || g.DelEdge(9, 9) {
+		t.Fatal("DelEdge of absent edge returned true")
+	}
+}
+
+func TestUndirectedForEdgesOncePerEdge(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 4)
+	count := 0
+	g.ForEdges(func(src, dst int64) {
+		if src > dst {
+			t.Fatalf("ForEdges emitted src %d > dst %d", src, dst)
+		}
+		count++
+	})
+	if count != 3 {
+		t.Fatalf("ForEdges visited %d edges, want 3", count)
+	}
+}
+
+func TestAsUndirected(t *testing.T) {
+	d := NewDirected()
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 1) // merges into one undirected edge
+	d.AddEdge(2, 3)
+	u := AsUndirected(d)
+	if u.NumEdges() != 2 {
+		t.Fatalf("undirected edges = %d, want 2", u.NumEdges())
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndirectedBulkBuild(t *testing.T) {
+	ids := []int64{1, 2, 3}
+	adj := [][]int64{{2, 3}, {1}, {1, 3}} // includes a self-loop at 3
+	g, err := BuildUndirectedBulk(ids, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("bulk edges = %d, want 3", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildUndirectedBulk([]int64{1}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestUndirectedClone(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge(1, 2)
+	c := g.Clone()
+	c.AddEdge(3, 4)
+	if g.NumEdges() != 1 || c.NumEdges() != 2 {
+		t.Fatal("clone not independent")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndirectedMatchesReferenceModel(t *testing.T) {
+	type opcode struct {
+		Op       uint8
+		Src, Dst int8
+	}
+	norm := func(a, b int64) [2]int64 {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int64{a, b}
+	}
+	f := func(ops []opcode) bool {
+		g := NewUndirected()
+		ref := map[[2]int64]bool{}
+		refNodes := map[int64]bool{}
+		for _, o := range ops {
+			src, dst := int64(o.Src%8), int64(o.Dst%8)
+			switch o.Op % 4 {
+			case 0:
+				g.AddEdge(src, dst)
+				ref[norm(src, dst)] = true
+				refNodes[src], refNodes[dst] = true, true
+			case 1:
+				g.DelEdge(src, dst)
+				delete(ref, norm(src, dst))
+			case 2:
+				g.AddNode(src)
+				refNodes[src] = true
+			case 3:
+				g.DelNode(src)
+				if refNodes[src] {
+					delete(refNodes, src)
+					for e := range ref {
+						if e[0] == src || e[1] == src {
+							delete(ref, e)
+						}
+					}
+				}
+			}
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		if g.NumNodes() != len(refNodes) || g.NumEdges() != int64(len(ref)) {
+			return false
+		}
+		for e := range ref {
+			if !g.HasEdge(e[0], e[1]) || !g.HasEdge(e[1], e[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+package par
+
+import (
+	"slices"
+	"sync"
+)
+
+// parallelSortMin is the slice length below which the parallel sorts fall
+// back to a purely sequential sort; splitting tiny inputs costs more than it
+// saves.
+const parallelSortMin = 1 << 14
+
+// SortInt64s sorts a in ascending order, in parallel for large inputs. It is
+// the building block of the "sort-first" table-to-graph conversion (§2.4):
+// chunks are sorted concurrently and then merged pairwise, which requires no
+// thread-safe data structures and exhibits no contention between workers.
+func SortInt64s(a []int64) {
+	n := len(a)
+	if n < parallelSortMin || Workers() == 1 {
+		slices.Sort(a)
+		return
+	}
+	ranges := Split(n, Workers())
+	For(n, func(lo, hi int) {
+		slices.Sort(a[lo:hi])
+	})
+	tmp := make([]int64, n)
+	src, dst := a, tmp
+	runs := ranges
+	for len(runs) > 1 {
+		merged := make([]Range, 0, (len(runs)+1)/2)
+		var wg sync.WaitGroup
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				r := runs[i]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					copy(dst[r.Lo:r.Hi], src[r.Lo:r.Hi])
+				}()
+				merged = append(merged, r)
+				continue
+			}
+			a, b := runs[i], runs[i+1]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mergeInt64(dst[a.Lo:b.Hi], src[a.Lo:a.Hi], src[b.Lo:b.Hi])
+			}()
+			merged = append(merged, Range{a.Lo, b.Hi})
+		}
+		wg.Wait()
+		src, dst = dst, src
+		runs = merged
+	}
+	if n > 0 && &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+func mergeInt64(dst, a, b []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// SortPairs sorts the parallel slices keys and vals lexicographically by
+// (key, val), permuting both together. The table-to-graph conversion uses it
+// to order (source, destination) edge pairs so that each node's adjacency
+// vector comes out sorted. keys and vals must have equal length.
+func SortPairs(keys, vals []int64) {
+	if len(keys) != len(vals) {
+		panic("par: SortPairs slices of unequal length")
+	}
+	n := len(keys)
+	if n < parallelSortMin || Workers() == 1 {
+		pairSort(keys, vals, 0, n)
+		return
+	}
+	ranges := Split(n, Workers())
+	For(n, func(lo, hi int) {
+		pairSort(keys, vals, lo, hi)
+	})
+	tmpK := make([]int64, n)
+	tmpV := make([]int64, n)
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	runs := ranges
+	for len(runs) > 1 {
+		merged := make([]Range, 0, (len(runs)+1)/2)
+		var wg sync.WaitGroup
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				r := runs[i]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					copy(dstK[r.Lo:r.Hi], srcK[r.Lo:r.Hi])
+					copy(dstV[r.Lo:r.Hi], srcV[r.Lo:r.Hi])
+				}()
+				merged = append(merged, r)
+				continue
+			}
+			a, b := runs[i], runs[i+1]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mergePairs(dstK[a.Lo:b.Hi], dstV[a.Lo:b.Hi],
+					srcK[a.Lo:a.Hi], srcV[a.Lo:a.Hi],
+					srcK[b.Lo:b.Hi], srcV[b.Lo:b.Hi])
+			}()
+			merged = append(merged, Range{a.Lo, b.Hi})
+		}
+		wg.Wait()
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+		runs = merged
+	}
+	if n > 0 && &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}
+
+func mergePairs(dstK, dstV, aK, aV, bK, bV []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(aK) && j < len(bK) {
+		if aK[i] < bK[j] || (aK[i] == bK[j] && aV[i] <= bV[j]) {
+			dstK[k], dstV[k] = aK[i], aV[i]
+			i++
+		} else {
+			dstK[k], dstV[k] = bK[j], bV[j]
+			j++
+		}
+		k++
+	}
+	for ; i < len(aK); i++ {
+		dstK[k], dstV[k] = aK[i], aV[i]
+		k++
+	}
+	for ; j < len(bK); j++ {
+		dstK[k], dstV[k] = bK[j], bV[j]
+		k++
+	}
+}
+
+// pairSort is an in-place quicksort over (keys, vals) compared
+// lexicographically, with insertion sort for small partitions and
+// median-of-three pivot selection. Recursion always descends into the
+// smaller partition, bounding stack depth at O(log n).
+func pairSort(keys, vals []int64, lo, hi int) {
+	for hi-lo > 24 {
+		p := pairPartition(keys, vals, lo, hi)
+		if p-lo < hi-p-1 {
+			pairSort(keys, vals, lo, p)
+			lo = p + 1
+		} else {
+			pairSort(keys, vals, p+1, hi)
+			hi = p
+		}
+	}
+	// Insertion sort for the remaining small range.
+	for i := lo + 1; i < hi; i++ {
+		k, v := keys[i], vals[i]
+		j := i - 1
+		for j >= lo && (keys[j] > k || (keys[j] == k && vals[j] > v)) {
+			keys[j+1], vals[j+1] = keys[j], vals[j]
+			j--
+		}
+		keys[j+1], vals[j+1] = k, v
+	}
+}
+
+func pairLess(keys, vals []int64, i, j int) bool {
+	return keys[i] < keys[j] || (keys[i] == keys[j] && vals[i] < vals[j])
+}
+
+func pairSwap(keys, vals []int64, i, j int) {
+	keys[i], keys[j] = keys[j], keys[i]
+	vals[i], vals[j] = vals[j], vals[i]
+}
+
+func pairPartition(keys, vals []int64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	last := hi - 1
+	// Median of three: order lo, mid, last.
+	if pairLess(keys, vals, mid, lo) {
+		pairSwap(keys, vals, mid, lo)
+	}
+	if pairLess(keys, vals, last, lo) {
+		pairSwap(keys, vals, last, lo)
+	}
+	if pairLess(keys, vals, last, mid) {
+		pairSwap(keys, vals, last, mid)
+	}
+	// Pivot (median) to position hi-2.
+	pairSwap(keys, vals, mid, last-0)
+	pk, pv := keys[last], vals[last]
+	i := lo
+	for j := lo; j < last; j++ {
+		if keys[j] < pk || (keys[j] == pk && vals[j] < pv) {
+			pairSwap(keys, vals, i, j)
+			i++
+		}
+	}
+	pairSwap(keys, vals, i, last)
+	return i
+}

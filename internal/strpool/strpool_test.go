@@ -1,0 +1,106 @@
+package strpool
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternDenseIDs(t *testing.T) {
+	p := New(4)
+	a := p.Intern("alpha")
+	b := p.Intern("beta")
+	a2 := p.Intern("alpha")
+	if a != a2 {
+		t.Fatalf("re-intern returned different id: %d vs %d", a, a2)
+	}
+	if a == b {
+		t.Fatal("distinct strings share an id")
+	}
+	if a != 0 || b != 1 {
+		t.Fatalf("ids not dense first-seen order: a=%d b=%d", a, b)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	p := New(0)
+	words := []string{"", "x", "hello", "hello", "世界", "x"}
+	for _, w := range words {
+		id := p.Intern(w)
+		if got := p.Get(id); got != w {
+			t.Fatalf("Get(Intern(%q)) = %q", w, got)
+		}
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 distinct", p.Len())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p := New(0)
+	p.Intern("present")
+	if _, ok := p.Lookup("absent"); ok {
+		t.Fatal("Lookup found never-interned string")
+	}
+	id, ok := p.Lookup("present")
+	if !ok || p.Get(id) != "present" {
+		t.Fatalf("Lookup(present) = (%d,%v)", id, ok)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var p Pool
+	if id := p.Intern("zero"); id != 0 {
+		t.Fatalf("zero-value pool first id = %d", id)
+	}
+	if p.Get(0) != "zero" {
+		t.Fatal("zero-value pool Get failed")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := New(0)
+	p.Intern("a")
+	p.Intern("b")
+	q := p.Clone()
+	q.Intern("c")
+	if p.Len() != 2 {
+		t.Fatalf("clone mutation leaked into original: Len=%d", p.Len())
+	}
+	if q.Len() != 3 {
+		t.Fatalf("clone Len = %d, want 3", q.Len())
+	}
+	if id, ok := q.Lookup("a"); !ok || q.Get(id) != "a" {
+		t.Fatal("clone lost original contents")
+	}
+}
+
+func TestBytesGrowsWithContent(t *testing.T) {
+	p := New(0)
+	small := p.Bytes()
+	for i := 0; i < 100; i++ {
+		p.Intern(fmt.Sprintf("string-value-%04d", i))
+	}
+	if p.Bytes() <= small {
+		t.Fatal("Bytes did not grow after interning")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	p := New(0)
+	seen := map[string]int32{}
+	f := func(s string) bool {
+		id := p.Intern(s)
+		if prev, ok := seen[s]; ok && prev != id {
+			return false
+		}
+		seen[s] = id
+		return p.Get(id) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package table
+
+import "testing"
+
+func TestAddIntColumnFunc(t *testing.T) {
+	tbl := postsTable(t)
+	users, _ := tbl.IntCol("UserId")
+	if err := tbl.AddIntColumnFunc("UserBucket", func(row int) int64 {
+		return users[row] / 100
+	}); err != nil {
+		t.Fatal(err)
+	}
+	col, err := tbl.IntCol("UserBucket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row, v := range col {
+		if v != users[row]/100 {
+			t.Fatalf("row %d: %d != %d", row, v, users[row]/100)
+		}
+	}
+	if err := tbl.AddIntColumnFunc("UserBucket", func(int) int64 { return 0 }); err == nil {
+		t.Fatal("duplicate computed column accepted")
+	}
+}
+
+func TestAddFloatColumnFunc(t *testing.T) {
+	tbl := postsTable(t)
+	scores, _ := tbl.FloatCol("Score")
+	if err := tbl.AddFloatColumnFunc("Half", func(row int) float64 {
+		return scores[row] / 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	col, _ := tbl.FloatCol("Half")
+	for row, v := range col {
+		if v != scores[row]/2 {
+			t.Fatalf("row %d: %v", row, v)
+		}
+	}
+	if err := tbl.AddFloatColumnFunc("Half", func(int) float64 { return 0 }); err == nil {
+		t.Fatal("duplicate computed column accepted")
+	}
+}
+
+func TestComputedColumnLargeParallel(t *testing.T) {
+	tbl := MustNew(Schema{{"x", Int}})
+	const n = 60_000
+	for i := 0; i < n; i++ {
+		if err := tbl.AppendRow(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, _ := tbl.IntCol("x")
+	if err := tbl.AddIntColumnFunc("sq", func(row int) int64 { return x[row] * x[row] }); err != nil {
+		t.Fatal(err)
+	}
+	sq, _ := tbl.IntCol("sq")
+	for _, row := range []int{0, 1, n / 2, n - 1} {
+		if sq[row] != int64(row)*int64(row) {
+			t.Fatalf("sq[%d] = %d", row, sq[row])
+		}
+	}
+}

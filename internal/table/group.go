@@ -1,0 +1,255 @@
+package table
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggOp enumerates aggregation operators for Aggregate.
+type AggOp int
+
+// Aggregation operators.
+const (
+	Count AggOp = iota
+	Sum
+	Min
+	Max
+	Mean
+	First
+)
+
+// String returns the lowercase operator name.
+func (op AggOp) String() string {
+	switch op {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Mean:
+		return "mean"
+	case First:
+		return "first"
+	default:
+		return fmt.Sprintf("AggOp(%d)", int(op))
+	}
+}
+
+// Group assigns each row a dense group id such that rows with equal values
+// in the named columns share an id, and reports the number of groups. Group
+// ids are dense in first-occurrence order. This is Ringo's in-place
+// grouping: the table itself is not modified and row identifiers let callers
+// track members of each group.
+func (t *Table) Group(cols ...string) (ids []int, groups int, err error) {
+	enc, err := newRowKeyEncoder(t, cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := t.NumRows()
+	ids = make([]int, n)
+	seen := make(map[string]int)
+	for row := 0; row < n; row++ {
+		k := enc.key(row)
+		id, ok := seen[k]
+		if !ok {
+			id = len(seen)
+			seen[k] = id
+		}
+		ids[row] = id
+	}
+	return ids, len(seen), nil
+}
+
+// GroupCol runs Group and appends the group ids to the table as a new Int
+// column named outCol, mirroring Ringo's pattern of writing analysis results
+// back into tables.
+func (t *Table) GroupCol(outCol string, cols ...string) error {
+	ids, _, err := t.Group(cols...)
+	if err != nil {
+		return err
+	}
+	vals := make([]int64, len(ids))
+	for i, id := range ids {
+		vals[i] = int64(id)
+	}
+	return t.AddIntColumn(outCol, vals)
+}
+
+// Aggregate groups the table by groupCols and aggregates valCol with op,
+// returning a new table with the group columns followed by one result column
+// named outCol. For Count, valCol may be empty. Numeric aggregates accept
+// Int and Float value columns; the result column is Int for Count and for
+// Sum/Min/Max/First over Int columns, Float otherwise.
+func (t *Table) Aggregate(groupCols []string, op AggOp, valCol, outCol string) (*Table, error) {
+	ids, groups, err := t.Group(groupCols...)
+	if err != nil {
+		return nil, err
+	}
+	if outCol == "" {
+		outCol = op.String()
+	}
+
+	// Representative row per group, in group-id (first occurrence) order.
+	rep := make([]int, groups)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for row, id := range ids {
+		if rep[id] < 0 {
+			rep[id] = row
+		}
+	}
+
+	outType := Int
+	var intVals []int64
+	var floatVals []float64
+	if op != Count {
+		i := t.ColIndex(valCol)
+		if i < 0 {
+			return nil, fmt.Errorf("table: no column %q", valCol)
+		}
+		switch t.cols[i].Type {
+		case Int:
+			intVals = t.ints[i]
+			if op == Mean {
+				outType = Float
+			}
+		case Float:
+			floatVals = t.floats[i]
+			outType = Float
+		default:
+			if op != First {
+				return nil, fmt.Errorf("table: aggregate %v over string column %q", op, valCol)
+			}
+			outType = String
+			intVals = t.ints[i]
+		}
+	}
+
+	schema := make(Schema, 0, len(groupCols)+1)
+	for _, name := range groupCols {
+		schema = append(schema, t.cols[t.ColIndex(name)])
+	}
+	schema = append(schema, Column{outCol, outType})
+	out, err := NewWithCapacity(schema, groups)
+	if err != nil {
+		return nil, err
+	}
+	out.pool = t.pool.Clone()
+
+	// Compute aggregates.
+	counts := make([]int64, groups)
+	sums := make([]float64, groups)
+	isums := make([]int64, groups)
+	mins := make([]float64, groups)
+	maxs := make([]float64, groups)
+	firsts := make([]int64, groups)
+	ffirsts := make([]float64, groups)
+	haveFirst := make([]bool, groups)
+	for g := range mins {
+		mins[g] = math.Inf(1)
+		maxs[g] = math.Inf(-1)
+	}
+	for row, g := range ids {
+		counts[g]++
+		var fv float64
+		var iv int64
+		if intVals != nil {
+			iv = intVals[row]
+			fv = float64(iv)
+		} else if floatVals != nil {
+			fv = floatVals[row]
+		}
+		sums[g] += fv
+		isums[g] += iv
+		if fv < mins[g] {
+			mins[g] = fv
+		}
+		if fv > maxs[g] {
+			maxs[g] = fv
+		}
+		if !haveFirst[g] {
+			haveFirst[g] = true
+			firsts[g] = iv
+			ffirsts[g] = fv
+		}
+	}
+
+	for g := 0; g < groups; g++ {
+		row := rep[g]
+		for k := range groupCols {
+			i := t.ColIndex(groupCols[k])
+			if t.cols[i].Type == Float {
+				out.floats[k] = append(out.floats[k], t.floats[i][row])
+			} else {
+				out.ints[k] = append(out.ints[k], t.ints[i][row])
+			}
+		}
+		last := len(groupCols)
+		switch {
+		case op == Count:
+			out.ints[last] = append(out.ints[last], counts[g])
+		case outType == Int:
+			var v int64
+			switch op {
+			case Sum:
+				v = isums[g]
+			case Min:
+				v = int64(mins[g])
+			case Max:
+				v = int64(maxs[g])
+			case First:
+				v = firsts[g]
+			}
+			out.ints[last] = append(out.ints[last], v)
+		case outType == Float:
+			var v float64
+			switch op {
+			case Sum:
+				v = sums[g]
+			case Min:
+				v = mins[g]
+			case Max:
+				v = maxs[g]
+			case Mean:
+				v = sums[g] / float64(counts[g])
+			case First:
+				v = ffirsts[g]
+			}
+			out.floats[last] = append(out.floats[last], v)
+		default: // String First
+			out.ints[last] = append(out.ints[last], firsts[g])
+		}
+		out.rowIDs = append(out.rowIDs, int64(g))
+	}
+	out.nextID = int64(groups)
+	return out, nil
+}
+
+// Unique returns a new table keeping the first row of each distinct
+// combination of values in the named columns (all columns if none are
+// given). Row identifiers of kept rows are preserved.
+func (t *Table) Unique(cols ...string) (*Table, error) {
+	if len(cols) == 0 {
+		cols = t.ColNames()
+	}
+	enc, err := newRowKeyEncoder(t, cols)
+	if err != nil {
+		return nil, err
+	}
+	out := t.freshLike(0)
+	seen := make(map[string]struct{})
+	for row := 0; row < t.NumRows(); row++ {
+		k := enc.key(row)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.appendRowFrom(t, row)
+	}
+	out.nextID = t.nextID
+	return out, nil
+}

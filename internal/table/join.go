@@ -1,0 +1,279 @@
+package table
+
+import (
+	"fmt"
+	"math"
+
+	"ringo/internal/par"
+)
+
+// Join performs an equi-join of t (left) with right on leftCol == rightCol
+// and returns a new table whose schema is the left schema followed by the
+// right schema. Columns whose names collide are disambiguated with "-1"
+// (left) and "-2" (right) suffixes, matching the paper's §4.1 example where
+// joining Questions with Answers yields UserId-1 and UserId-2 columns. The
+// join always produces a new table object with fresh row identifiers.
+//
+// The implementation is a hash join: a hash table is built over the right
+// input's key column, then the left input probes it in parallel using the
+// contention-free two-pass (count, prefix-sum, fill) pattern.
+func (t *Table) Join(right *Table, leftCol, rightCol string) (*Table, error) {
+	li := t.ColIndex(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("table: join: left has no column %q", leftCol)
+	}
+	ri := right.ColIndex(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("table: join: right has no column %q", rightCol)
+	}
+	lt, rt := t.cols[li].Type, right.cols[ri].Type
+	if lt != rt {
+		return nil, fmt.Errorf("table: join: key type mismatch %v vs %v", lt, rt)
+	}
+
+	// Normalize keys to int64. String keys from distinct pools are remapped
+	// through the left pool so equal strings get equal key values.
+	lkeys, rkeys := t.joinKeys(li, right, ri)
+
+	// Build on the right input (the paper joins the large edge table, as the
+	// probe side, against a single-column table).
+	build := make(map[int64][]int32, right.NumRows())
+	for row, k := range rkeys {
+		build[k] = append(build[k], int32(row))
+	}
+
+	// Probe pass 1: count output rows per range.
+	n := t.NumRows()
+	ranges := par.Split(n, par.Workers())
+	counts := make([]int, len(ranges))
+	par.ForEach(len(ranges), func(w int) {
+		c := 0
+		for row := ranges[w].Lo; row < ranges[w].Hi; row++ {
+			c += len(build[lkeys[row]])
+		}
+		counts[w] = c
+	})
+	total := 0
+	offsets := make([]int, len(ranges))
+	for w, c := range counts {
+		offsets[w] = total
+		total += c
+	}
+
+	out, err := newJoinOutput(t, right, total)
+	if err != nil {
+		return nil, err
+	}
+	// Right string columns must be re-interned into the output pool. Build
+	// the remap once, sequentially, before the parallel fill.
+	rStrRemap := remapPool(right, out)
+
+	nLeft := len(t.cols)
+	par.ForEach(len(ranges), func(w int) {
+		at := offsets[w]
+		for row := ranges[w].Lo; row < ranges[w].Hi; row++ {
+			matches := build[lkeys[row]]
+			for _, rrow := range matches {
+				for i := range t.cols {
+					if t.cols[i].Type == Float {
+						out.floats[i][at] = t.floats[i][row]
+					} else {
+						out.ints[i][at] = t.ints[i][row]
+					}
+				}
+				for j := range right.cols {
+					o := nLeft + j
+					switch right.cols[j].Type {
+					case Float:
+						out.floats[o][at] = right.floats[j][int(rrow)]
+					case String:
+						out.ints[o][at] = rStrRemap[right.ints[j][int(rrow)]]
+					default:
+						out.ints[o][at] = right.ints[j][int(rrow)]
+					}
+				}
+				at++
+			}
+		}
+	})
+	for i := 0; i < total; i++ {
+		out.rowIDs[i] = int64(i)
+	}
+	out.nextID = int64(total)
+	return out, nil
+}
+
+// LeftJoin is Join preserving unmatched left rows: rows of t with no match
+// in right appear once, with right Int columns set to the given nullInt,
+// Float columns to NaN, and String columns to the empty string.
+func (t *Table) LeftJoin(right *Table, leftCol, rightCol string, nullInt int64) (*Table, error) {
+	li := t.ColIndex(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("table: left join: left has no column %q", leftCol)
+	}
+	ri := right.ColIndex(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("table: left join: right has no column %q", rightCol)
+	}
+	if t.cols[li].Type != right.cols[ri].Type {
+		return nil, fmt.Errorf("table: left join: key type mismatch")
+	}
+	lkeys, rkeys := t.joinKeys(li, right, ri)
+	build := make(map[int64][]int32, right.NumRows())
+	for row, k := range rkeys {
+		build[k] = append(build[k], int32(row))
+	}
+	total := 0
+	for _, k := range lkeys {
+		if m := len(build[k]); m > 0 {
+			total += m
+		} else {
+			total++
+		}
+	}
+	out, err := newJoinOutput(t, right, total)
+	if err != nil {
+		return nil, err
+	}
+	rStrRemap := remapPool(right, out)
+	nullStr := int64(out.pool.Intern(""))
+	nLeft := len(t.cols)
+	at := 0
+	emit := func(lrow int, rrow int32) {
+		for i := range t.cols {
+			if t.cols[i].Type == Float {
+				out.floats[i][at] = t.floats[i][lrow]
+			} else {
+				out.ints[i][at] = t.ints[i][lrow]
+			}
+		}
+		for j := range right.cols {
+			o := nLeft + j
+			switch right.cols[j].Type {
+			case Float:
+				if rrow < 0 {
+					out.floats[o][at] = math.NaN()
+				} else {
+					out.floats[o][at] = right.floats[j][rrow]
+				}
+			case String:
+				if rrow < 0 {
+					out.ints[o][at] = nullStr
+				} else {
+					out.ints[o][at] = rStrRemap[right.ints[j][rrow]]
+				}
+			default:
+				if rrow < 0 {
+					out.ints[o][at] = nullInt
+				} else {
+					out.ints[o][at] = right.ints[j][rrow]
+				}
+			}
+		}
+		out.rowIDs[at] = int64(at)
+		at++
+	}
+	for lrow := 0; lrow < t.NumRows(); lrow++ {
+		matches := build[lkeys[lrow]]
+		if len(matches) == 0 {
+			emit(lrow, -1)
+			continue
+		}
+		for _, rrow := range matches {
+			emit(lrow, rrow)
+		}
+	}
+	out.nextID = int64(total)
+	return out, nil
+}
+
+// joinKeys returns comparable int64 key slices for the two join columns.
+func (t *Table) joinKeys(li int, right *Table, ri int) (lkeys, rkeys []int64) {
+	switch t.cols[li].Type {
+	case Float:
+		lkeys = make([]int64, t.NumRows())
+		for row, f := range t.floats[li] {
+			lkeys[row] = int64(math.Float64bits(f))
+		}
+		rkeys = make([]int64, right.NumRows())
+		for row, f := range right.floats[ri] {
+			rkeys[row] = int64(math.Float64bits(f))
+		}
+	case String:
+		// Map right pool ids into left pool id space; unseen strings get
+		// fresh negative keys so they match nothing on the left.
+		lkeys = t.ints[li]
+		rkeys = make([]int64, right.NumRows())
+		remap := make(map[int64]int64)
+		nextMiss := int64(-1)
+		for row, id := range right.ints[ri] {
+			k, ok := remap[id]
+			if !ok {
+				if lid, present := t.pool.Lookup(right.pool.Get(int32(id))); present {
+					k = int64(lid)
+				} else {
+					k = nextMiss
+					nextMiss--
+				}
+				remap[id] = k
+			}
+			rkeys[row] = k
+		}
+	default:
+		lkeys = t.ints[li]
+		rkeys = right.ints[ri]
+	}
+	return lkeys, rkeys
+}
+
+// newJoinOutput builds the output table for a join of left and right with
+// capacity rows, applying -1/-2 suffixes to colliding column names.
+func newJoinOutput(left, right *Table, rows int) (*Table, error) {
+	schema := make(Schema, 0, len(left.cols)+len(right.cols))
+	rightNames := make(map[string]bool, len(right.cols))
+	for _, c := range right.cols {
+		rightNames[c.Name] = true
+	}
+	for _, c := range left.cols {
+		name := c.Name
+		if rightNames[c.Name] {
+			name += "-1"
+		}
+		schema = append(schema, Column{name, c.Type})
+	}
+	leftNames := make(map[string]bool, len(left.cols))
+	for _, c := range left.cols {
+		leftNames[c.Name] = true
+	}
+	for _, c := range right.cols {
+		name := c.Name
+		if leftNames[c.Name] {
+			name += "-2"
+		}
+		schema = append(schema, Column{name, c.Type})
+	}
+	out, err := NewWithCapacity(schema, rows)
+	if err != nil {
+		return nil, fmt.Errorf("table: join output schema: %w", err)
+	}
+	out.pool = left.pool.Clone()
+	for i := range out.cols {
+		if out.cols[i].Type == Float {
+			out.floats[i] = out.floats[i][:rows]
+		} else {
+			out.ints[i] = out.ints[i][:rows]
+		}
+	}
+	out.rowIDs = out.rowIDs[:rows]
+	return out, nil
+}
+
+// remapPool interns every string of src's pool into dst's pool and returns
+// the id translation indexed by src pool id.
+func remapPool(src, dst *Table) []int64 {
+	remap := make([]int64, src.pool.Len())
+	for id := 0; id < src.pool.Len(); id++ {
+		remap[id] = int64(dst.pool.Intern(src.pool.Get(int32(id))))
+	}
+	return remap
+}

@@ -1,0 +1,111 @@
+package table
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLeftJoinKeepsUnmatchedRows(t *testing.T) {
+	left := mustTable(t, Schema{{"k", Int}, {"l", Int}})
+	mustAppend(t, left, []any{1, 10}, []any{2, 20}, []any{3, 30})
+	right := mustTable(t, Schema{{"k", Int}, {"name", String}, {"w", Float}})
+	mustAppend(t, right, []any{1, "one", 1.5}, []any{1, "uno", 1.6})
+	j, err := left.LeftJoin(right, "k", "k", -99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1 matches twice; k=2 and k=3 appear once unmatched.
+	if j.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", j.NumRows())
+	}
+	k1, _ := j.IntCol("k-1")
+	k2, _ := j.IntCol("k-2")
+	w, _ := j.FloatCol("w")
+	nameIdx := j.ColIndex("name")
+	for row := 0; row < j.NumRows(); row++ {
+		if k1[row] == 1 {
+			if k2[row] != 1 || math.IsNaN(w[row]) {
+				t.Fatalf("matched row %d corrupted", row)
+			}
+			continue
+		}
+		if k2[row] != -99 {
+			t.Fatalf("null int = %d", k2[row])
+		}
+		if !math.IsNaN(w[row]) {
+			t.Fatalf("null float = %v", w[row])
+		}
+		if j.StrAt(nameIdx, row) != "" {
+			t.Fatalf("null string = %q", j.StrAt(nameIdx, row))
+		}
+	}
+}
+
+func TestLeftJoinAllMatchedEqualsJoin(t *testing.T) {
+	left := mustTable(t, Schema{{"k", Int}})
+	mustAppend(t, left, []any{1}, []any{2})
+	right := mustTable(t, Schema{{"k", Int}})
+	mustAppend(t, right, []any{1}, []any{2})
+	lj, err := left.LeftJoin(right, "k", "k", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := left.Join(right, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lj.NumRows() != j.NumRows() {
+		t.Fatalf("left join %d rows, inner join %d", lj.NumRows(), j.NumRows())
+	}
+}
+
+func TestLeftJoinErrors(t *testing.T) {
+	left := mustTable(t, Schema{{"k", Int}})
+	right := mustTable(t, Schema{{"k", String}})
+	if _, err := left.LeftJoin(right, "k", "k", 0); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if _, err := left.LeftJoin(right, "x", "k", 0); err == nil {
+		t.Fatal("missing left column accepted")
+	}
+	if _, err := left.LeftJoin(right, "k", "x", 0); err == nil {
+		t.Fatal("missing right column accepted")
+	}
+}
+
+func TestSample(t *testing.T) {
+	tbl := MustNew(Schema{{"x", Int}})
+	for i := 0; i < 100; i++ {
+		if err := tbl.AppendRow(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tbl.Sample(10, 1)
+	if s.NumRows() != 10 {
+		t.Fatalf("sample rows = %d", s.NumRows())
+	}
+	// No duplicates, input order, ids preserved.
+	x, _ := s.IntCol("x")
+	for i := 1; i < len(x); i++ {
+		if x[i-1] >= x[i] {
+			t.Fatalf("sample out of order or duplicated: %v", x)
+		}
+	}
+	for i, id := range s.RowIDs() {
+		if id != x[i] { // row id equals value by construction
+			t.Fatal("sample row ids wrong")
+		}
+	}
+	// Deterministic.
+	s2 := tbl.Sample(10, 1)
+	x2, _ := s2.IntCol("x")
+	for i := range x {
+		if x[i] != x2[i] {
+			t.Fatal("sample not deterministic")
+		}
+	}
+	// Oversized sample returns a full copy.
+	if tbl.Sample(1000, 1).NumRows() != 100 {
+		t.Fatal("oversized sample wrong")
+	}
+}

@@ -1,0 +1,136 @@
+package table
+
+import "fmt"
+
+// Union returns a new table with the distinct rows of t and other (set
+// union). Both tables must have identical schemas. Rows are emitted in
+// first-occurrence order (t first) with fresh row identifiers.
+func (t *Table) Union(other *Table) (*Table, error) {
+	if !sameSchema(t, other) {
+		return nil, fmt.Errorf("table: union: schema mismatch")
+	}
+	out := t.freshLike(t.NumRows())
+	out.pool = t.pool.Clone()
+	seen := make(map[string]struct{}, t.NumRows())
+	encT, _ := newRowKeyEncoder(t, t.ColNames())
+	for row := 0; row < t.NumRows(); row++ {
+		k := encT.key(row)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.appendRowFrom(t, row)
+	}
+	encO, _ := newRowKeyEncoder(other, other.ColNames())
+	remap := remapPool(other, out)
+	for row := 0; row < other.NumRows(); row++ {
+		k := encO.key(row)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.appendOtherRow(other, row, remap)
+	}
+	// Set operations produce a new table object: renumber ids densely.
+	for i := range out.rowIDs {
+		out.rowIDs[i] = int64(i)
+	}
+	out.nextID = int64(len(out.rowIDs))
+	return out, nil
+}
+
+// UnionAll returns the concatenation of t and other (bag union, duplicates
+// kept) with fresh row identifiers.
+func (t *Table) UnionAll(other *Table) (*Table, error) {
+	if !sameSchema(t, other) {
+		return nil, fmt.Errorf("table: union all: schema mismatch")
+	}
+	out := t.freshLike(t.NumRows() + other.NumRows())
+	for row := 0; row < t.NumRows(); row++ {
+		out.appendRowFrom(t, row)
+	}
+	remap := remapPool(other, out)
+	for row := 0; row < other.NumRows(); row++ {
+		out.appendOtherRow(other, row, remap)
+	}
+	for i := range out.rowIDs {
+		out.rowIDs[i] = int64(i)
+	}
+	out.nextID = int64(len(out.rowIDs))
+	return out, nil
+}
+
+// Intersect returns the distinct rows of t that also occur in other,
+// preserving t's row identifiers (first occurrence wins).
+func (t *Table) Intersect(other *Table) (*Table, error) {
+	if !sameSchema(t, other) {
+		return nil, fmt.Errorf("table: intersect: schema mismatch")
+	}
+	inOther := make(map[string]struct{}, other.NumRows())
+	encO, _ := newRowKeyEncoder(other, other.ColNames())
+	for row := 0; row < other.NumRows(); row++ {
+		inOther[encO.key(row)] = struct{}{}
+	}
+	out := t.freshLike(0)
+	emitted := make(map[string]struct{})
+	encT, _ := newRowKeyEncoder(t, t.ColNames())
+	for row := 0; row < t.NumRows(); row++ {
+		k := encT.key(row)
+		if _, ok := inOther[k]; !ok {
+			continue
+		}
+		if _, dup := emitted[k]; dup {
+			continue
+		}
+		emitted[k] = struct{}{}
+		out.appendRowFrom(t, row)
+	}
+	out.nextID = t.nextID
+	return out, nil
+}
+
+// Minus returns the distinct rows of t that do not occur in other,
+// preserving t's row identifiers (first occurrence wins).
+func (t *Table) Minus(other *Table) (*Table, error) {
+	if !sameSchema(t, other) {
+		return nil, fmt.Errorf("table: minus: schema mismatch")
+	}
+	inOther := make(map[string]struct{}, other.NumRows())
+	encO, _ := newRowKeyEncoder(other, other.ColNames())
+	for row := 0; row < other.NumRows(); row++ {
+		inOther[encO.key(row)] = struct{}{}
+	}
+	out := t.freshLike(0)
+	emitted := make(map[string]struct{})
+	encT, _ := newRowKeyEncoder(t, t.ColNames())
+	for row := 0; row < t.NumRows(); row++ {
+		k := encT.key(row)
+		if _, excluded := inOther[k]; excluded {
+			continue
+		}
+		if _, dup := emitted[k]; dup {
+			continue
+		}
+		emitted[k] = struct{}{}
+		out.appendRowFrom(t, row)
+	}
+	out.nextID = t.nextID
+	return out, nil
+}
+
+// appendOtherRow copies row r of other (same schema) into t, translating
+// string pool ids through remap and keeping other's row id (callers
+// renumber afterwards when required).
+func (t *Table) appendOtherRow(other *Table, r int, remap []int64) {
+	for i := range t.cols {
+		switch t.cols[i].Type {
+		case Float:
+			t.floats[i] = append(t.floats[i], other.floats[i][r])
+		case String:
+			t.ints[i] = append(t.ints[i], remap[other.ints[i][r]])
+		default:
+			t.ints[i] = append(t.ints[i], other.ints[i][r])
+		}
+	}
+	t.rowIDs = append(t.rowIDs, other.rowIDs[r])
+}

@@ -1,0 +1,203 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func pairTable(t *testing.T, rows ...[2]any) *Table {
+	t.Helper()
+	tbl := mustTable(t, Schema{{"a", Int}, {"s", String}})
+	for _, r := range rows {
+		mustAppend(t, tbl, []any{r[0], r[1]})
+	}
+	return tbl
+}
+
+func TestUnionDistinct(t *testing.T) {
+	a := pairTable(t, [2]any{1, "x"}, [2]any{2, "y"}, [2]any{1, "x"})
+	b := pairTable(t, [2]any{2, "y"}, [2]any{3, "z"})
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumRows() != 3 {
+		t.Fatalf("union rows = %d, want 3", u.NumRows())
+	}
+}
+
+func TestUnionAllKeepsDuplicates(t *testing.T) {
+	a := pairTable(t, [2]any{1, "x"})
+	b := pairTable(t, [2]any{1, "x"}, [2]any{2, "y"})
+	u, err := a.UnionAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumRows() != 3 {
+		t.Fatalf("union all rows = %d", u.NumRows())
+	}
+}
+
+func TestUnionStringPoolsDiffer(t *testing.T) {
+	a := pairTable(t, [2]any{1, "left-only"})
+	// b interns strings in a different order so pool ids differ.
+	b := pairTable(t, [2]any{9, "zzz"}, [2]any{1, "left-only"})
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumRows() != 2 {
+		t.Fatalf("union rows = %d, want 2 (content equality across pools)", u.NumRows())
+	}
+	found := false
+	for row := 0; row < u.NumRows(); row++ {
+		if u.StrAt(1, row) == "zzz" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("union lost right-side string payload")
+	}
+}
+
+func TestIntersectPreservesLeftIDs(t *testing.T) {
+	a := pairTable(t, [2]any{1, "x"}, [2]any{2, "y"}, [2]any{3, "z"})
+	b := pairTable(t, [2]any{3, "z"}, [2]any{1, "x"})
+	i, err := a.Intersect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.NumRows() != 2 {
+		t.Fatalf("intersect rows = %d", i.NumRows())
+	}
+	if i.RowIDs()[0] != 0 || i.RowIDs()[1] != 2 {
+		t.Fatalf("intersect row ids = %v", i.RowIDs())
+	}
+}
+
+func TestMinus(t *testing.T) {
+	a := pairTable(t, [2]any{1, "x"}, [2]any{2, "y"}, [2]any{2, "y"}, [2]any{3, "z"})
+	b := pairTable(t, [2]any{2, "y"})
+	m, err := a.Minus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 2 {
+		t.Fatalf("minus rows = %d", m.NumRows())
+	}
+	vals, _ := m.IntCol("a")
+	if vals[0] != 1 || vals[1] != 3 {
+		t.Fatalf("minus values = %v", vals)
+	}
+}
+
+func TestSetOpsSchemaMismatch(t *testing.T) {
+	a := pairTable(t)
+	b := mustTable(t, Schema{{"a", Int}, {"s", Int}})
+	if _, err := a.Union(b); err == nil {
+		t.Fatal("union with mismatched schema accepted")
+	}
+	if _, err := a.UnionAll(b); err == nil {
+		t.Fatal("union all with mismatched schema accepted")
+	}
+	if _, err := a.Intersect(b); err == nil {
+		t.Fatal("intersect with mismatched schema accepted")
+	}
+	if _, err := a.Minus(b); err == nil {
+		t.Fatal("minus with mismatched schema accepted")
+	}
+}
+
+func TestSetAlgebraIdentity(t *testing.T) {
+	// (A ∩ B) ∪ (A − B) has the same distinct rows as A.
+	a := pairTable(t, [2]any{1, "x"}, [2]any{2, "y"}, [2]any{3, "z"}, [2]any{2, "y"})
+	b := pairTable(t, [2]any{2, "y"}, [2]any{9, "q"})
+	inter, err := a.Intersect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minus, err := a.Minus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := inter.Union(minus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinctA, _ := a.Unique()
+	if back.NumRows() != distinctA.NumRows() {
+		t.Fatalf("(A∩B)∪(A−B) = %d rows, distinct(A) = %d", back.NumRows(), distinctA.NumRows())
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	tbl := postsTable(t)
+	var sb strings.Builder
+	if err := tbl.SaveTSV(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	schema := tbl.Schema()
+	back, err := LoadTSV(strings.NewReader(sb.String()), schema, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tbl.NumRows() {
+		t.Fatalf("round trip rows = %d", back.NumRows())
+	}
+	for row := 0; row < tbl.NumRows(); row++ {
+		for col := 0; col < tbl.NumCols(); col++ {
+			if tbl.Value(col, row) != back.Value(col, row) {
+				t.Fatalf("cell (%d,%d): %v != %v", col, row, tbl.Value(col, row), back.Value(col, row))
+			}
+		}
+	}
+}
+
+func TestTSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# edge list\n1\t2\n\n3\t4\n"
+	tbl, err := LoadTSV(strings.NewReader(in), Schema{{"src", Int}, {"dst", Int}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestTSVHeaderSkipped(t *testing.T) {
+	in := "src\tdst\n1\t2\n"
+	tbl, err := LoadTSV(strings.NewReader(in), Schema{{"src", Int}, {"dst", Int}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 1 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestTSVParseErrors(t *testing.T) {
+	if _, err := LoadTSV(strings.NewReader("abc\t2\n"), Schema{{"a", Int}, {"b", Int}}, false); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	if _, err := LoadTSV(strings.NewReader("1\n"), Schema{{"a", Int}, {"b", Int}}, false); err == nil {
+		t.Fatal("missing field accepted")
+	}
+	if _, err := LoadTSV(strings.NewReader("x\t1.5.2\n"), Schema{{"a", String}, {"b", Float}}, false); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func TestTSVFileRoundTrip(t *testing.T) {
+	tbl := postsTable(t)
+	path := t.TempDir() + "/posts.tsv"
+	if err := tbl.SaveTSVFile(path, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTSVFile(path, tbl.Schema(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tbl.NumRows() {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+}

@@ -1,0 +1,276 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func pointsTable(t *testing.T, xs ...float64) *Table {
+	t.Helper()
+	tbl := mustTable(t, Schema{{"id", Int}, {"x", Float}})
+	for i, x := range xs {
+		mustAppend(t, tbl, []any{i, x})
+	}
+	return tbl
+}
+
+func TestSimJoin1D(t *testing.T) {
+	a := pointsTable(t, 0.0, 10.0, 20.0)
+	b := pointsTable(t, 0.5, 9.0, 100.0)
+	j, err := a.SimJoin(b, []string{"x"}, []string{"x"}, 1.5, L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs within 1.5: (0.0,0.5) and (10.0,9.0).
+	if j.NumRows() != 2 {
+		t.Fatalf("simjoin rows = %d, want 2", j.NumRows())
+	}
+	if j.ColIndex("SimDist") < 0 {
+		t.Fatalf("columns = %v", j.ColNames())
+	}
+	d, _ := j.FloatCol("SimDist")
+	for _, dist := range d {
+		if dist > 1.5 {
+			t.Fatalf("emitted pair with distance %v", dist)
+		}
+	}
+}
+
+func TestSimJoin2DMetrics(t *testing.T) {
+	a := mustTable(t, Schema{{"x", Float}, {"y", Float}})
+	mustAppend(t, a, []any{0.0, 0.0})
+	b := mustTable(t, Schema{{"x", Float}, {"y", Float}})
+	mustAppend(t, b, []any{3.0, 4.0}) // L2 dist 5, L1 dist 7, LInf dist 4
+	for _, c := range []struct {
+		m         Metric
+		threshold float64
+		want      int
+	}{
+		{L2, 5.0, 1}, {L2, 4.9, 0},
+		{L1, 7.0, 1}, {L1, 6.9, 0},
+		{LInf, 4.0, 1}, {LInf, 3.9, 0},
+	} {
+		j, err := a.SimJoin(b, []string{"x", "y"}, []string{"x", "y"}, c.threshold, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.NumRows() != c.want {
+			t.Fatalf("metric %v threshold %v: rows = %d, want %d", c.m, c.threshold, j.NumRows(), c.want)
+		}
+	}
+}
+
+func TestSimJoinIntColumnsAccepted(t *testing.T) {
+	a := mustTable(t, Schema{{"v", Int}})
+	mustAppend(t, a, []any{10}, []any{20})
+	b := mustTable(t, Schema{{"w", Int}})
+	mustAppend(t, b, []any{11}, []any{100})
+	j, err := a.SimJoin(b, []string{"v"}, []string{"w"}, 2, L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 1 {
+		t.Fatalf("rows = %d", j.NumRows())
+	}
+}
+
+func TestSimJoinErrors(t *testing.T) {
+	a := pointsTable(t, 1)
+	b := pointsTable(t, 2)
+	if _, err := a.SimJoin(b, nil, nil, 1, L2); err == nil {
+		t.Fatal("empty columns accepted")
+	}
+	if _, err := a.SimJoin(b, []string{"x"}, []string{"x", "x"}, 1, L2); err == nil {
+		t.Fatal("mismatched column counts accepted")
+	}
+	if _, err := a.SimJoin(b, []string{"x"}, []string{"x"}, -1, L2); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if _, err := a.SimJoin(b, []string{"x"}, []string{"x"}, math.NaN(), L2); err == nil {
+		t.Fatal("NaN threshold accepted")
+	}
+	if _, err := a.SimJoin(b, []string{"id", "x", "x", "x", "x", "x", "x", "x", "x"},
+		[]string{"id", "x", "x", "x", "x", "x", "x", "x", "x"}, 1, L2); err == nil {
+		t.Fatal("9 dimensions accepted")
+	}
+	c := mustTable(t, Schema{{"s", String}})
+	mustAppend(t, c, []any{"a"})
+	if _, err := a.SimJoin(c, []string{"x"}, []string{"s"}, 1, L2); err == nil {
+		t.Fatal("string column accepted")
+	}
+}
+
+// Property: SimJoin equals the brute-force all-pairs filter.
+func TestSimJoinMatchesBruteForce(t *testing.T) {
+	f := func(as, bs []int8, thr uint8) bool {
+		if len(as) > 40 {
+			as = as[:40]
+		}
+		if len(bs) > 40 {
+			bs = bs[:40]
+		}
+		a := MustNew(Schema{{"x", Float}})
+		for _, v := range as {
+			if err := a.AppendRow(float64(v)); err != nil {
+				return false
+			}
+		}
+		b := MustNew(Schema{{"x", Float}})
+		for _, v := range bs {
+			if err := b.AppendRow(float64(v)); err != nil {
+				return false
+			}
+		}
+		threshold := float64(thr % 10)
+		j, err := a.SimJoin(b, []string{"x"}, []string{"x"}, threshold, L2)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, x := range as {
+			for _, y := range bs {
+				if math.Abs(float64(x)-float64(y)) <= threshold {
+					want++
+				}
+			}
+		}
+		return j.NumRows() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eventsTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := mustTable(t, Schema{{"Thread", Int}, {"Time", Int}, {"User", String}})
+	mustAppend(t, tbl,
+		[]any{1, 10, "a"},
+		[]any{1, 20, "b"},
+		[]any{1, 30, "c"},
+		[]any{2, 5, "d"},
+		[]any{2, 15, "e"},
+		[]any{3, 1, "f"},
+	)
+	return tbl
+}
+
+func TestNextK1(t *testing.T) {
+	tbl := eventsTable(t)
+	nk, err := tbl.NextK("Thread", "Time", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1: a→b, b→c. Thread 2: d→e. Thread 3: none.
+	if nk.NumRows() != 3 {
+		t.Fatalf("NextK(1) rows = %d, want 3", nk.NumRows())
+	}
+	if nk.ColIndex("User-1") < 0 || nk.ColIndex("User-2") < 0 {
+		t.Fatalf("columns = %v", nk.ColNames())
+	}
+	pred := nk.ColIndex("User-1")
+	succ := nk.ColIndex("User-2")
+	pairs := map[string]bool{}
+	for row := 0; row < nk.NumRows(); row++ {
+		pairs[nk.StrAt(pred, row)+"->"+nk.StrAt(succ, row)] = true
+	}
+	for _, want := range []string{"a->b", "b->c", "d->e"} {
+		if !pairs[want] {
+			t.Fatalf("missing pair %s in %v", want, pairs)
+		}
+	}
+}
+
+func TestNextK2(t *testing.T) {
+	tbl := eventsTable(t)
+	nk, err := tbl.NextK("Thread", "Time", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1 adds a→c; total 4 pairs.
+	if nk.NumRows() != 4 {
+		t.Fatalf("NextK(2) rows = %d, want 4", nk.NumRows())
+	}
+	// Successor times strictly after predecessor times within each pair.
+	tp, _ := nk.IntCol("Time-1")
+	ts, _ := nk.IntCol("Time-2")
+	for i := range tp {
+		if tp[i] >= ts[i] {
+			t.Fatalf("pair %d not temporally ordered: %d -> %d", i, tp[i], ts[i])
+		}
+	}
+}
+
+func TestNextKUnsortedInput(t *testing.T) {
+	tbl := mustTable(t, Schema{{"g", Int}, {"t", Float}, {"v", Int}})
+	mustAppend(t, tbl,
+		[]any{1, 3.0, 30},
+		[]any{1, 1.0, 10},
+		[]any{1, 2.0, 20},
+	)
+	nk, err := tbl.NextK("g", "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nk.NumRows() != 2 {
+		t.Fatalf("rows = %d", nk.NumRows())
+	}
+	v1, _ := nk.IntCol("v-1")
+	v2, _ := nk.IntCol("v-2")
+	got := map[int64]int64{}
+	for i := range v1 {
+		got[v1[i]] = v2[i]
+	}
+	if got[10] != 20 || got[20] != 30 {
+		t.Fatalf("pairs = %v", got)
+	}
+}
+
+func TestNextKErrors(t *testing.T) {
+	tbl := eventsTable(t)
+	if _, err := tbl.NextK("Thread", "Time", 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := tbl.NextK("nope", "Time", 1); err == nil {
+		t.Fatal("missing group column accepted")
+	}
+	if _, err := tbl.NextK("Thread", "User", 1); err == nil {
+		t.Fatal("non-numeric order column accepted")
+	}
+}
+
+// Property: NextK(k) pair count per group of size n is sum over positions of
+// min(k, n-1-i).
+func TestNextKCardinalityProperty(t *testing.T) {
+	f := func(groups []uint8, k uint8) bool {
+		kk := int(k%5) + 1
+		tbl := MustNew(Schema{{"g", Int}, {"t", Int}})
+		sizes := map[int64]int{}
+		for i, g := range groups {
+			gg := int64(g % 8)
+			if err := tbl.AppendRow(gg, i); err != nil {
+				return false
+			}
+			sizes[gg]++
+		}
+		nk, err := tbl.NextK("g", "t", kk)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, n := range sizes {
+			for i := 0; i < n; i++ {
+				m := n - 1 - i
+				if m > kk {
+					m = kk
+				}
+				want += m
+			}
+		}
+		return nk.NumRows() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package table
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadTSV reads tab-separated rows from r into a new table with the given
+// schema. If header is true the first line is skipped (column names come
+// from the schema, as in ringo.LoadTableTSV(schema, file)). Lines beginning
+// with '#' and blank lines are ignored, matching SNAP's edge-list format.
+func LoadTSV(r io.Reader, schema Schema, header bool) (*Table, error) {
+	t, err := New(schema)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	first := true
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if first && header {
+			first = false
+			continue
+		}
+		first = false
+		if err := t.appendTSVLine(line, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("table: reading TSV: %w", err)
+	}
+	return t, nil
+}
+
+func (t *Table) appendTSVLine(line string, lineNo int) error {
+	for i := range t.cols {
+		var field string
+		if i < len(t.cols)-1 {
+			tab := strings.IndexByte(line, '\t')
+			if tab < 0 {
+				return fmt.Errorf("table: line %d: %d fields for %d columns", lineNo, i+1, len(t.cols))
+			}
+			field, line = line[:tab], line[tab+1:]
+		} else {
+			if tab := strings.IndexByte(line, '\t'); tab >= 0 {
+				field = line[:tab]
+			} else {
+				field = line
+			}
+		}
+		switch t.cols[i].Type {
+		case Int:
+			n, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+			if err != nil {
+				return fmt.Errorf("table: line %d column %q: %w", lineNo, t.cols[i].Name, err)
+			}
+			t.ints[i] = append(t.ints[i], n)
+		case Float:
+			f, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return fmt.Errorf("table: line %d column %q: %w", lineNo, t.cols[i].Name, err)
+			}
+			t.floats[i] = append(t.floats[i], f)
+		default:
+			t.ints[i] = append(t.ints[i], int64(t.pool.Intern(field)))
+		}
+	}
+	t.rowIDs = append(t.rowIDs, t.nextID)
+	t.nextID++
+	return nil
+}
+
+// LoadTSVFile is LoadTSV reading from the named file.
+func LoadTSVFile(path string, schema Schema, header bool) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadTSV(f, schema, header)
+}
+
+// SaveTSV writes the table as tab-separated values. If header is true the
+// first line lists the column names.
+func (t *Table) SaveTSV(w io.Writer, header bool) error {
+	bw := bufio.NewWriter(w)
+	if header {
+		for i, c := range t.cols {
+			if i > 0 {
+				if err := bw.WriteByte('\t'); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(c.Name); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	var buf []byte
+	for row := 0; row < t.NumRows(); row++ {
+		buf = buf[:0]
+		for i := range t.cols {
+			if i > 0 {
+				buf = append(buf, '\t')
+			}
+			switch t.cols[i].Type {
+			case Int:
+				buf = strconv.AppendInt(buf, t.ints[i][row], 10)
+			case Float:
+				buf = strconv.AppendFloat(buf, t.floats[i][row], 'g', -1, 64)
+			default:
+				buf = append(buf, t.pool.Get(int32(t.ints[i][row]))...)
+			}
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveTSVFile is SaveTSV writing to the named file.
+func (t *Table) SaveTSVFile(path string, header bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.SaveTSV(f, header); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

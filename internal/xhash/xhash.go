@@ -1,0 +1,248 @@
+// Package xhash implements the thread-safe building blocks from §2.5 of the
+// Ringo paper: an open-addressing concurrent hash table with linear probing
+// and a concurrent vector whose insertions claim cells with an atomic
+// increment. Both are fixed-capacity: Ringo computes exact sizes (node
+// counts, degrees) before building, so "there is no need to estimate the
+// size of the hash table or neighbor vectors in advance".
+package xhash
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+// EmptyKey is the reserved key sentinel marking an unoccupied slot. Keys
+// equal to EmptyKey must not be inserted.
+const EmptyKey = math.MinInt64
+
+// reservedVal marks a slot whose key has been claimed but whose value write
+// has not yet been observed; Get spins past it. Values equal to reservedVal
+// must not be stored.
+const reservedVal = math.MinInt64
+
+// Map is a fixed-capacity concurrent hash table from int64 keys to int64
+// values using open addressing with linear probing. All methods are safe for
+// concurrent use. The table does not grow; NewMap sizes it for the expected
+// number of keys at a load factor of at most 1/2.
+type Map struct {
+	keys []int64
+	vals []int64
+	mask uint64
+	n    atomic.Int64
+}
+
+// NewMap returns a Map sized to hold at least capacity keys.
+func NewMap(capacity int) *Map {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 4
+	for size < 2*capacity {
+		size <<= 1
+	}
+	m := &Map{
+		keys: make([]int64, size),
+		vals: make([]int64, size),
+		mask: uint64(size - 1),
+	}
+	for i := range m.keys {
+		m.keys[i] = EmptyKey
+		m.vals[i] = reservedVal
+	}
+	return m
+}
+
+// mix is the splitmix64 finalizer, scrambling keys so that consecutive ids
+// (the common case for node identifiers) spread across the table.
+func mix(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len reports the number of keys in the map.
+func (m *Map) Len() int { return int(m.n.Load()) }
+
+// Cap reports the maximum number of keys the map can hold before Put panics
+// (half the slot count, preserving the probe-length guarantee).
+func (m *Map) Cap() int { return len(m.keys) / 2 }
+
+// Get returns the value stored for k.
+func (m *Map) Get(k int64) (v int64, ok bool) {
+	if k == EmptyKey {
+		return 0, false
+	}
+	i := mix(k) & m.mask
+	for {
+		kk := atomic.LoadInt64(&m.keys[i])
+		if kk == EmptyKey {
+			return 0, false
+		}
+		if kk == k {
+			return m.waitVal(i), true
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// waitVal loads the value at slot i, spinning until the writer that claimed
+// the slot has published it.
+func (m *Map) waitVal(i uint64) int64 {
+	for spins := 0; ; spins++ {
+		v := atomic.LoadInt64(&m.vals[i])
+		if v != reservedVal {
+			return v
+		}
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// PutIfAbsent stores v under k unless k is already present. It returns the
+// value now associated with k and whether this call inserted it. This is the
+// primitive used to assign dense node indices during graph construction: the
+// losing goroutine adopts the winner's index.
+func (m *Map) PutIfAbsent(k, v int64) (actual int64, inserted bool) {
+	m.checkOperands(k, v)
+	i := mix(k) & m.mask
+	for probes := 0; ; probes++ {
+		kk := atomic.LoadInt64(&m.keys[i])
+		if kk == EmptyKey {
+			if atomic.CompareAndSwapInt64(&m.keys[i], EmptyKey, k) {
+				atomic.StoreInt64(&m.vals[i], v)
+				if n := m.n.Add(1); int(n) > m.Cap() {
+					panic("xhash: Map over capacity")
+				}
+				return v, true
+			}
+			kk = atomic.LoadInt64(&m.keys[i])
+		}
+		if kk == k {
+			return m.waitVal(i), false
+		}
+		i = (i + 1) & m.mask
+		if probes > len(m.keys) {
+			panic("xhash: Map probe loop; table full")
+		}
+	}
+}
+
+// Put stores v under k, overwriting any existing value.
+func (m *Map) Put(k, v int64) {
+	m.checkOperands(k, v)
+	i := mix(k) & m.mask
+	for probes := 0; ; probes++ {
+		kk := atomic.LoadInt64(&m.keys[i])
+		if kk == EmptyKey {
+			if atomic.CompareAndSwapInt64(&m.keys[i], EmptyKey, k) {
+				atomic.StoreInt64(&m.vals[i], v)
+				if n := m.n.Add(1); int(n) > m.Cap() {
+					panic("xhash: Map over capacity")
+				}
+				return
+			}
+			kk = atomic.LoadInt64(&m.keys[i])
+		}
+		if kk == k {
+			atomic.StoreInt64(&m.vals[i], v)
+			return
+		}
+		i = (i + 1) & m.mask
+		if probes > len(m.keys) {
+			panic("xhash: Map probe loop; table full")
+		}
+	}
+}
+
+// Add atomically adds delta to the value stored under k, inserting
+// base+delta if k is absent. It returns the new value. Used for concurrent
+// degree counting.
+func (m *Map) Add(k, delta, base int64) int64 {
+	m.checkOperands(k, base)
+	i := mix(k) & m.mask
+	for probes := 0; ; probes++ {
+		kk := atomic.LoadInt64(&m.keys[i])
+		if kk == EmptyKey {
+			if atomic.CompareAndSwapInt64(&m.keys[i], EmptyKey, k) {
+				atomic.StoreInt64(&m.vals[i], base+delta)
+				if n := m.n.Add(1); int(n) > m.Cap() {
+					panic("xhash: Map over capacity")
+				}
+				return base + delta
+			}
+			kk = atomic.LoadInt64(&m.keys[i])
+		}
+		if kk == k {
+			m.waitVal(i)
+			return atomic.AddInt64(&m.vals[i], delta)
+		}
+		i = (i + 1) & m.mask
+		if probes > len(m.keys) {
+			panic("xhash: Map probe loop; table full")
+		}
+	}
+}
+
+// Range calls fn for every key/value pair until fn returns false. It must
+// not run concurrently with writers.
+func (m *Map) Range(fn func(k, v int64) bool) {
+	for i, k := range m.keys {
+		if k == EmptyKey {
+			continue
+		}
+		if !fn(k, m.vals[i]) {
+			return
+		}
+	}
+}
+
+func (m *Map) checkOperands(k, v int64) {
+	if k == EmptyKey {
+		panic(fmt.Sprintf("xhash: key %d is the reserved empty sentinel", k))
+	}
+	if v == reservedVal {
+		panic(fmt.Sprintf("xhash: value %d is the reserved pending sentinel", v))
+	}
+}
+
+// Vec is a fixed-capacity concurrent vector. Append claims the next cell
+// with an atomic increment (§2.5) and then writes it; cells are therefore
+// written exactly once with no locking and no contention beyond the counter.
+// Reads of the collected data must happen after all appends complete (e.g.
+// after a WaitGroup barrier), matching the construction pattern in the
+// paper.
+type Vec struct {
+	data []int64
+	n    atomic.Int64
+}
+
+// NewVec returns a Vec with the given fixed capacity.
+func NewVec(capacity int) *Vec {
+	return &Vec{data: make([]int64, capacity)}
+}
+
+// Append stores x in the next free cell and returns its index.
+func (v *Vec) Append(x int64) int {
+	i := v.n.Add(1) - 1
+	if int(i) >= len(v.data) {
+		panic("xhash: Vec over capacity")
+	}
+	v.data[i] = x
+	return int(i)
+}
+
+// Len reports the number of appended elements.
+func (v *Vec) Len() int { return int(v.n.Load()) }
+
+// At returns element i.
+func (v *Vec) At(i int) int64 { return v.data[i] }
+
+// Data returns the appended prefix. Only valid after all appends complete.
+func (v *Vec) Data() []int64 { return v.data[:v.Len()] }

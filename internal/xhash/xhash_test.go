@@ -1,0 +1,275 @@
+package xhash
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapPutGet(t *testing.T) {
+	m := NewMap(16)
+	for i := int64(0); i < 16; i++ {
+		m.Put(i*7, i)
+	}
+	if m.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", m.Len())
+	}
+	for i := int64(0); i < 16; i++ {
+		v, ok := m.Get(i * 7)
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", i*7, v, ok, i)
+		}
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatal("Get found absent key")
+	}
+}
+
+func TestMapOverwrite(t *testing.T) {
+	m := NewMap(4)
+	m.Put(5, 1)
+	m.Put(5, 2)
+	if v, _ := m.Get(5); v != 2 {
+		t.Fatalf("overwrite failed: got %d", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", m.Len())
+	}
+}
+
+func TestMapNegativeAndExtremeKeys(t *testing.T) {
+	m := NewMap(8)
+	keys := []int64{-1, -999999999999, 0, 1 << 62, -(1 << 62)}
+	for i, k := range keys {
+		m.Put(k, int64(i))
+	}
+	for i, k := range keys {
+		v, ok := m.Get(k)
+		if !ok || v != int64(i) {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestMapPutIfAbsent(t *testing.T) {
+	m := NewMap(4)
+	v, inserted := m.PutIfAbsent(9, 100)
+	if !inserted || v != 100 {
+		t.Fatalf("first PutIfAbsent = (%d,%v)", v, inserted)
+	}
+	v, inserted = m.PutIfAbsent(9, 200)
+	if inserted || v != 100 {
+		t.Fatalf("second PutIfAbsent = (%d,%v), want existing 100", v, inserted)
+	}
+}
+
+func TestMapAdd(t *testing.T) {
+	m := NewMap(4)
+	if got := m.Add(3, 1, 0); got != 1 {
+		t.Fatalf("Add fresh = %d", got)
+	}
+	if got := m.Add(3, 5, 0); got != 6 {
+		t.Fatalf("Add existing = %d", got)
+	}
+	if v, _ := m.Get(3); v != 6 {
+		t.Fatalf("Get after Add = %d", v)
+	}
+}
+
+func TestMapCollisionsAtSmallCapacity(t *testing.T) {
+	// A tiny table forces long probe chains; every key must still be found.
+	m := NewMap(64)
+	for i := int64(0); i < 64; i++ {
+		m.Put(i*1024, i)
+	}
+	for i := int64(0); i < 64; i++ {
+		if v, ok := m.Get(i * 1024); !ok || v != i {
+			t.Fatalf("collision probe lost key %d", i*1024)
+		}
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	m := NewMap(8)
+	want := map[int64]int64{1: 10, 2: 20, 3: 30}
+	for k, v := range want {
+		m.Put(k, v)
+	}
+	got := map[int64]int64{}
+	m.Range(func(k, v int64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range got %d=%d, want %d", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(k, v int64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range ignored false return, visited %d", n)
+	}
+}
+
+func TestMapReservedOperandsPanic(t *testing.T) {
+	m := NewMap(4)
+	mustPanic(t, func() { m.Put(EmptyKey, 1) })
+	mustPanic(t, func() { m.Put(1, reservedVal) })
+}
+
+func TestMapOverCapacityPanics(t *testing.T) {
+	m := NewMap(2)
+	cap := m.Cap()
+	for i := 0; i < cap; i++ {
+		m.Put(int64(i), 0)
+	}
+	mustPanic(t, func() { m.Put(int64(cap+1), 0) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestMapConcurrentPutIfAbsentAgrees(t *testing.T) {
+	// Many goroutines race to insert the same keys with different values;
+	// all racers for a key must adopt the same winning value.
+	const keys = 500
+	const workers = 8
+	m := NewMap(keys)
+	results := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := make([]int64, keys)
+			for k := 0; k < keys; k++ {
+				v, _ := m.PutIfAbsent(int64(k), int64(w*keys+k+1))
+				res[k] = v
+			}
+			results[w] = res
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != keys {
+		t.Fatalf("Len = %d, want %d", m.Len(), keys)
+	}
+	for k := 0; k < keys; k++ {
+		want := results[0][k]
+		for w := 1; w < workers; w++ {
+			if results[w][k] != want {
+				t.Fatalf("key %d: worker %d saw %d, worker 0 saw %d", k, w, results[w][k], want)
+			}
+		}
+		if v, ok := m.Get(int64(k)); !ok || v != want {
+			t.Fatalf("key %d: Get=(%d,%v), racers saw %d", k, v, ok, want)
+		}
+	}
+}
+
+func TestMapConcurrentAdd(t *testing.T) {
+	const keys = 64
+	const workers = 8
+	const perWorker = 200
+	m := NewMap(keys)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Add(int64(i%keys), 1, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	m.Range(func(k, v int64) bool { total += v; return true })
+	if total != workers*perWorker {
+		t.Fatalf("Add lost updates: total %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestMapQuickVsReference(t *testing.T) {
+	f := func(keys []int16, vals []int8) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n == 0 {
+			return true
+		}
+		m := NewMap(n)
+		ref := map[int64]int64{}
+		for i := 0; i < n; i++ {
+			k, v := int64(keys[i]), int64(vals[i])
+			m.Put(k, v)
+			ref[k] = v
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := m.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecConcurrentAppend(t *testing.T) {
+	const n = 10_000
+	const workers = 8
+	v := NewVec(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				v.Append(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v.Len() != n {
+		t.Fatalf("Len = %d, want %d", v.Len(), n)
+	}
+	seen := make([]bool, n)
+	for _, x := range v.Data() {
+		if x < 0 || x >= n || seen[x] {
+			t.Fatalf("value %d missing or duplicated", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestVecOverCapacityPanics(t *testing.T) {
+	v := NewVec(1)
+	v.Append(1)
+	mustPanic(t, func() { v.Append(2) })
+}
+
+func TestVecAt(t *testing.T) {
+	v := NewVec(3)
+	idx := v.Append(42)
+	if v.At(idx) != 42 {
+		t.Fatalf("At(%d) = %d", idx, v.At(idx))
+	}
+}

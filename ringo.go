@@ -1,0 +1,502 @@
+package ringo
+
+import (
+	"io"
+
+	"ringo/internal/algo"
+	"ringo/internal/conv"
+	"ringo/internal/core"
+	"ringo/internal/gen"
+	"ringo/internal/graph"
+	"ringo/internal/table"
+)
+
+// Core data types, re-exported from the engine.
+type (
+	// Table is Ringo's column-store relational table (§2.3).
+	Table = table.Table
+	// Schema describes a table's columns.
+	Schema = table.Schema
+	// Column is one schema entry.
+	Column = table.Column
+	// ColType is a column type (IntCol, FloatCol, StringCol).
+	ColType = table.Type
+	// CmpOp is a Select comparison operator.
+	CmpOp = table.CmpOp
+	// AggOp is a Group/Aggregate operator.
+	AggOp = table.AggOp
+	// Metric is a SimJoin distance metric.
+	Metric = table.Metric
+
+	// Graph is the dynamic directed graph (§2.2): a hash table of nodes
+	// with sorted in/out adjacency vectors.
+	Graph = graph.Directed
+	// UGraph is the undirected variant.
+	UGraph = graph.Undirected
+	// Network is a directed multigraph with typed node/edge attributes.
+	Network = graph.Network
+	// CSR is the static Compressed Sparse Row baseline representation.
+	CSR = graph.CSR
+
+	// Components is a connected-component decomposition result.
+	Components = algo.Components
+	// HITSScores holds hub and authority score maps.
+	HITSScores = algo.HITSScores
+	// Scored pairs a node with a score in ranked results.
+	Scored = algo.Scored
+	// DegreeStats summarizes a degree distribution.
+	DegreeStats = algo.DegreeStats
+	// EdgeDir selects traversal direction (OutEdges, InEdges, BothDirs).
+	EdgeDir = algo.EdgeDir
+	// WeightFunc supplies edge lengths for Dijkstra.
+	WeightFunc = algo.WeightFunc
+)
+
+// Column types.
+const (
+	IntCol    = table.Int
+	FloatCol  = table.Float
+	StringCol = table.String
+)
+
+// Select comparison operators.
+const (
+	EQ = table.EQ
+	NE = table.NE
+	LT = table.LT
+	LE = table.LE
+	GT = table.GT
+	GE = table.GE
+)
+
+// Aggregation operators.
+const (
+	Count = table.Count
+	Sum   = table.Sum
+	Min   = table.Min
+	Max   = table.Max
+	Mean  = table.Mean
+	First = table.First
+)
+
+// SimJoin metrics.
+const (
+	L1   = table.L1
+	L2   = table.L2
+	LInf = table.LInf
+)
+
+// Traversal directions.
+const (
+	OutEdges = algo.Out
+	InEdges  = algo.In
+	BothDirs = algo.Both
+)
+
+// NewTable returns an empty table with the given schema.
+func NewTable(schema Schema) (*Table, error) { return table.New(schema) }
+
+// NewGraph returns an empty dynamic directed graph.
+func NewGraph() *Graph { return graph.NewDirected() }
+
+// NewUGraph returns an empty dynamic undirected graph.
+func NewUGraph() *UGraph { return graph.NewUndirected() }
+
+// NewNetwork returns an empty attributed multigraph.
+func NewNetwork() *Network { return graph.NewNetwork() }
+
+// LoadTableTSV loads a tab-separated file into a table with the given
+// schema; header skips the first line. This is the paper's
+// ringo.LoadTableTSV(schema, 'posts.tsv').
+func LoadTableTSV(schema Schema, path string, header bool) (*Table, error) {
+	return table.LoadTSVFile(path, schema, header)
+}
+
+// ReadTableTSV is LoadTableTSV from an io.Reader.
+func ReadTableTSV(r io.Reader, schema Schema, header bool) (*Table, error) {
+	return table.LoadTSV(r, schema, header)
+}
+
+// Select returns the rows of t whose col compares true against val — the
+// paper's ringo.Select(P, 'Tag=Java').
+func Select(t *Table, col string, op CmpOp, val any) (*Table, error) {
+	return t.Select(col, op, val)
+}
+
+// SelectExpr filters with a string predicate, the exact front-end form the
+// paper shows: ringo.SelectExpr(P, "Tag=Java"). Predicates combine
+// column-constant comparisons with and/or/not and parentheses.
+func SelectExpr(t *Table, expr string) (*Table, error) {
+	return t.SelectExpr(expr)
+}
+
+// Join equi-joins two tables — the paper's ringo.Join(Q, A, 'AnswerId',
+// 'PostId'). Colliding column names get -1/-2 suffixes.
+func Join(left, right *Table, leftCol, rightCol string) (*Table, error) {
+	return left.Join(right, leftCol, rightCol)
+}
+
+// LeftJoin is Join preserving unmatched left rows; missing right cells read
+// as nullInt / NaN / "".
+func LeftJoin(left, right *Table, leftCol, rightCol string, nullInt int64) (*Table, error) {
+	return left.LeftJoin(right, leftCol, rightCol, nullInt)
+}
+
+// ToGraph converts an edge table to Ringo's directed graph structure using
+// the parallel sort-first algorithm (§2.4).
+func ToGraph(t *Table, srcCol, dstCol string) (*Graph, error) {
+	return core.ToGraph(t, srcCol, dstCol)
+}
+
+// ToUGraph converts an edge table to an undirected graph.
+func ToUGraph(t *Table, srcCol, dstCol string) (*UGraph, error) {
+	return core.ToUGraph(t, srcCol, dstCol)
+}
+
+// ToTable converts a directed graph back to an edge table, in parallel.
+func ToTable(g *Graph, srcName, dstName string) (*Table, error) {
+	return core.ToTable(g, srcName, dstName)
+}
+
+// ToNodeTable converts a graph's node set to a one-column table.
+func ToNodeTable(g *Graph, name string) (*Table, error) {
+	return core.ToNodeTable(g, name)
+}
+
+// AsUndirected returns the undirected view of a directed graph.
+func AsUndirected(g *Graph) *UGraph { return graph.AsUndirected(g) }
+
+// BuildCSR snapshots a directed graph into the static CSR representation.
+func BuildCSR(g *Graph) *CSR { return graph.FromDirected(g) }
+
+// LoadEdgeList reads a SNAP-style edge list file into a directed graph.
+func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeListFile(path) }
+
+// SaveEdgeList writes a directed graph as an edge list file.
+func SaveEdgeList(path string, g *Graph) error { return graph.SaveEdgeListFile(path, g) }
+
+// SaveGraphBinary writes a graph in the fast binary format.
+func SaveGraphBinary(path string, g *Graph) error { return graph.SaveBinaryFile(path, g) }
+
+// LoadGraphBinary reads a graph written by SaveGraphBinary.
+func LoadGraphBinary(path string) (*Graph, error) { return graph.LoadBinaryFile(path) }
+
+// TableFromMap builds a (key, score) table from an algorithm result,
+// descending by score — the paper's ringo.TableFromHashMap(PR, 'User',
+// 'Scr').
+func TableFromMap(m map[int64]float64, keyCol, valCol string) (*Table, error) {
+	return core.TableFromMap(m, keyCol, valCol)
+}
+
+// TableFromIntMap builds a (key, value) table from integer-valued results.
+func TableFromIntMap(m map[int64]int, keyCol, valCol string) (*Table, error) {
+	return core.TableFromIntMap(m, keyCol, valCol)
+}
+
+// GetPageRank runs 10 iterations of parallel PageRank (damping 0.85), the
+// configuration benchmarked in Table 3 of the paper.
+func GetPageRank(g *Graph) map[int64]float64 { return core.GetPageRank(g) }
+
+// PageRank runs parallel PageRank with explicit parameters.
+func PageRank(g *Graph, damping float64, iters int) map[int64]float64 {
+	return algo.PageRank(g, damping, iters)
+}
+
+// PageRankSeq is the sequential PageRank baseline.
+func PageRankSeq(g *Graph, damping float64, iters int) map[int64]float64 {
+	return algo.PageRankSeq(g, damping, iters)
+}
+
+// PersonalizedPageRank runs PageRank with teleport restricted to seeds.
+func PersonalizedPageRank(g *Graph, seeds []int64, damping float64, iters int) map[int64]float64 {
+	return algo.PersonalizedPageRank(g, seeds, damping, iters)
+}
+
+// GetHits computes hub and authority scores (Kleinberg's HITS).
+func GetHits(g *Graph, iters int) HITSScores { return algo.HITS(g, iters) }
+
+// CountTriangles counts undirected triangles in parallel (Table 3).
+func CountTriangles(g *UGraph) int64 { return algo.Triangles(g) }
+
+// CountTrianglesSeq is the sequential triangle-count baseline.
+func CountTrianglesSeq(g *UGraph) int64 { return algo.TrianglesSeq(g) }
+
+// NodeTriangles counts triangles per node.
+func NodeTriangles(g *UGraph) map[int64]int64 { return algo.NodeTriangles(g) }
+
+// GetClusteringCoefficient returns the average local clustering
+// coefficient.
+func GetClusteringCoefficient(g *UGraph) float64 { return algo.ClusteringCoefficient(g) }
+
+// GetBFS returns hop distances from src following dir edges.
+func GetBFS(g *Graph, src int64, dir EdgeDir) map[int64]int { return algo.BFS(g, src, dir) }
+
+// GetBFSParallel is the level-synchronous parallel BFS (identical results
+// to GetBFS).
+func GetBFSParallel(g *Graph, src int64, dir EdgeDir) map[int64]int {
+	return algo.BFSParallel(g, src, dir)
+}
+
+// GetSSSP returns unweighted single-source shortest-path distances
+// (Table 6).
+func GetSSSP(g *Graph, src int64) map[int64]int { return algo.SSSPUnweighted(g, src) }
+
+// GetShortestPath returns the hop distance from src to dst, or -1.
+func GetShortestPath(g *Graph, src, dst int64) int { return algo.ShortestPath(g, src, dst) }
+
+// Dijkstra computes weighted shortest paths with non-negative weights.
+func Dijkstra(g *Graph, src int64, w WeightFunc) map[int64]float64 {
+	return algo.Dijkstra(g, src, w)
+}
+
+// GetWCC computes weakly connected components.
+func GetWCC(g *Graph) Components { return algo.WCC(g) }
+
+// GetWCCParallel computes weakly connected components with parallel
+// hash-min label propagation (identical results to GetWCC).
+func GetWCCParallel(g *Graph) Components { return algo.WCCParallel(g) }
+
+// LargestWCC returns the subgraph induced by the largest weak component.
+func LargestWCC(g *Graph) *Graph { return algo.LargestWCC(g) }
+
+// GetSCC computes strongly connected components (iterative Tarjan,
+// Table 6).
+func GetSCC(g *Graph) Components { return algo.SCC(g) }
+
+// GetCoreNumbers computes the core number of every node.
+func GetCoreNumbers(g *UGraph) map[int64]int { return algo.CoreNumbers(g) }
+
+// GetKCore returns the k-core subgraph (Table 6 benchmarks the 3-core).
+func GetKCore(g *UGraph, k int) *UGraph { return algo.KCore(g, k) }
+
+// GetKCoreDirected returns the k-core of a directed graph's undirected
+// view.
+func GetKCoreDirected(g *Graph, k int) *UGraph { return algo.KCoreDirected(g, k) }
+
+// GetOutDegreeStats summarizes the out-degree distribution.
+func GetOutDegreeStats(g *Graph) DegreeStats { return algo.OutDegreeStats(g) }
+
+// GetInDegreeStats summarizes the in-degree distribution.
+func GetInDegreeStats(g *Graph) DegreeStats { return algo.InDegreeStats(g) }
+
+// GetDegreeHistogram returns (out-degree, count) pairs ascending.
+func GetDegreeHistogram(g *Graph) [][2]int64 { return algo.DegreeHistogram(g) }
+
+// GetDegreeCentrality returns normalized degree centralities.
+func GetDegreeCentrality(g *UGraph) map[int64]float64 { return algo.DegreeCentrality(g) }
+
+// MaxNode returns the node with the highest out-degree.
+func MaxNode(g *Graph) (id int64, deg int, ok bool) { return algo.MaxDegreeNode(g) }
+
+// GetCloseness returns the closeness centrality of one node.
+func GetCloseness(g *Graph, id int64) float64 { return algo.Closeness(g, id) }
+
+// GetApproxBetweenness estimates betweenness centrality from sampled
+// sources.
+func GetApproxBetweenness(g *Graph, samples int, seed int64) map[int64]float64 {
+	return algo.ApproxBetweenness(g, samples, seed)
+}
+
+// GetEccentricity returns a node's eccentricity (direction ignored).
+func GetEccentricity(g *Graph, id int64) int { return algo.Eccentricity(g, id) }
+
+// GetApproxDiameter estimates the diameter from sampled BFS runs.
+func GetApproxDiameter(g *Graph, samples int, seed int64) int {
+	return algo.ApproxDiameter(g, samples, seed)
+}
+
+// GetCommunities runs label-propagation community detection.
+func GetCommunities(g *UGraph, maxIters int, seed int64) map[int64]int {
+	return algo.LabelPropagation(g, maxIters, seed)
+}
+
+// GetModularity scores a community assignment.
+func GetModularity(g *UGraph, comm map[int64]int) float64 { return algo.Modularity(g, comm) }
+
+// Louvain detects communities by modularity maximization, returning the
+// partition and its modularity.
+func Louvain(g *UGraph, maxPasses int) (map[int64]int, float64) {
+	return algo.Louvain(g, maxPasses)
+}
+
+// GreedyColoring properly colors the graph (Welsh-Powell heuristic),
+// returning the coloring and the number of colors used.
+func GreedyColoring(g *UGraph) (map[int64]int, int) { return algo.GreedyColoring(g) }
+
+// MaximalMatching returns a deterministic greedy maximal matching.
+func MaximalMatching(g *UGraph) [][2]int64 { return algo.MaximalMatching(g) }
+
+// IndependentSetGreedy returns a maximal independent set.
+func IndependentSetGreedy(g *UGraph) []int64 { return algo.IndependentSetGreedy(g) }
+
+// GetRandomWalk returns a seeded random walk from start.
+func GetRandomWalk(g *Graph, start int64, length int, seed int64) []int64 {
+	return algo.RandomWalk(g, start, length, seed)
+}
+
+// TopK returns the k highest-scored nodes, descending.
+func TopK(scores map[int64]float64, k int) []Scored { return algo.TopK(scores, k) }
+
+// Generators (offline stand-ins for the paper's datasets; see DESIGN.md).
+
+// GenRMATTable generates an R-MAT edge table with power-law degree skew
+// (2^scale node id space, nEdges rows).
+func GenRMATTable(scale int, nEdges int64, seed int64) *Table {
+	return gen.RMATTable(scale, nEdges, seed)
+}
+
+// GenGNM generates a uniform random directed graph with n nodes, m edges.
+func GenGNM(n int, m int64, seed int64) *Graph { return gen.GNM(n, m, seed) }
+
+// GenGNP generates a directed G(n,p) random graph.
+func GenGNP(n int, p float64, seed int64) *Graph { return gen.GNP(n, p, seed) }
+
+// GenBarabasiAlbert generates a preferential-attachment graph.
+func GenBarabasiAlbert(n, m int, seed int64) *UGraph { return gen.BarabasiAlbert(n, m, seed) }
+
+// GenWattsStrogatz generates a small-world graph.
+func GenWattsStrogatz(n, k int, beta float64, seed int64) *UGraph {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+
+// SOConfig configures the synthetic StackOverflow posts generator.
+type SOConfig = gen.SOConfig
+
+// SOSchema is the posts-table schema used by the §4.1 demo.
+var SOSchema = gen.SOSchema
+
+// DefaultSOConfig returns the demo-sized StackOverflow configuration.
+func DefaultSOConfig() SOConfig { return gen.DefaultSOConfig() }
+
+// GenStackOverflowPosts generates the synthetic Q&A posts table standing in
+// for the StackOverflow dump of the paper's demo.
+func GenStackOverflowPosts(cfg SOConfig) (*Table, error) { return gen.StackOverflowPosts(cfg) }
+
+// SimJoinTables joins rows of two tables whose numeric feature vectors are
+// within threshold (§2.3's SimJoin).
+func SimJoinTables(left, right *Table, leftCols, rightCols []string, threshold float64, m Metric) (*Table, error) {
+	return left.SimJoin(right, leftCols, rightCols, threshold, m)
+}
+
+// NextK joins each row with its next k successors within a group ordered by
+// a time column (§2.3's NextK).
+func NextK(t *Table, groupCol, orderCol string, k int) (*Table, error) {
+	return t.NextK(groupCol, orderCol, k)
+}
+
+// NaiveToGraph is the per-edge-insertion conversion baseline (ablation for
+// the sort-first design choice).
+func NaiveToGraph(t *Table, srcCol, dstCol string) (*Graph, error) {
+	return conv.NaiveToDirected(t, srcCol, dstCol)
+}
+
+// ToNetwork converts an edge table to an attributed multigraph: one edge
+// per row (parallel edges preserved), with the named extra columns attached
+// as edge attributes — Ringo's path for keeping row payloads on graphs.
+func ToNetwork(t *Table, srcCol, dstCol string, attrCols ...string) (*Network, error) {
+	return conv.ToNetwork(t, srcCol, dstCol, attrCols...)
+}
+
+// MSTEdge is an edge of a minimum spanning forest.
+type MSTEdge = algo.MSTEdge
+
+// MotifCounts holds directed 3-node motif statistics.
+type MotifCounts = algo.MotifCounts
+
+// GetArticulationPoints returns the cut vertices of an undirected graph.
+func GetArticulationPoints(g *UGraph) []int64 { return algo.ArticulationPoints(g) }
+
+// GetBridges returns the cut edges of an undirected graph.
+func GetBridges(g *UGraph) [][2]int64 { return algo.Bridges(g) }
+
+// TopoSort returns a topological order, or an error on cyclic graphs.
+func TopoSort(g *Graph) ([]int64, error) { return algo.TopoSort(g) }
+
+// IsDAG reports whether the directed graph is acyclic.
+func IsDAG(g *Graph) bool { return algo.IsDAG(g) }
+
+// Bipartition two-colors an undirected graph; ok is false when the graph
+// has an odd cycle.
+func Bipartition(g *UGraph) (side map[int64]int, ok bool) { return algo.Bipartition(g) }
+
+// MinimumSpanningForest computes a minimum spanning forest under w.
+func MinimumSpanningForest(g *UGraph, w func(u, v int64) float64) ([]MSTEdge, float64) {
+	return algo.MinimumSpanningForest(g, w)
+}
+
+// CountMotifs counts directed triangle motifs and wedges.
+func CountMotifs(g *Graph) MotifCounts { return algo.CountMotifs(g) }
+
+// PageRankConverged iterates PageRank to an L1 tolerance, returning scores
+// and the iterations used.
+func PageRankConverged(g *Graph, damping, tol float64, maxIters int) (map[int64]float64, int) {
+	return algo.PageRankConverged(g, damping, tol, maxIters)
+}
+
+// PredictedLink is a scored candidate edge from link prediction.
+type PredictedLink = algo.PredictedLink
+
+// SIRResult summarizes an SIR epidemic simulation.
+type SIRResult = algo.SIRResult
+
+// CommonNeighbors counts shared neighbors of two nodes.
+func CommonNeighbors(g *UGraph, u, v int64) int { return algo.CommonNeighbors(g, u, v) }
+
+// Jaccard returns the neighborhood Jaccard similarity of two nodes.
+func Jaccard(g *UGraph, u, v int64) float64 { return algo.Jaccard(g, u, v) }
+
+// AdamicAdar returns the Adamic-Adar link-prediction index of two nodes.
+func AdamicAdar(g *UGraph, u, v int64) float64 { return algo.AdamicAdar(g, u, v) }
+
+// PreferentialAttachment returns deg(u)×deg(v).
+func PreferentialAttachment(g *UGraph, u, v int64) int {
+	return algo.PreferentialAttachment(g, u, v)
+}
+
+// PredictLinks returns the top-k non-edges ranked by Adamic-Adar score.
+func PredictLinks(g *UGraph, k int) []PredictedLink { return algo.PredictLinks(g, k) }
+
+// GetReciprocity returns the fraction of reciprocated directed edges.
+func GetReciprocity(g *Graph) float64 { return algo.Reciprocity(g) }
+
+// GetDegreeAssortativity returns Newman's degree assortativity r.
+func GetDegreeAssortativity(g *UGraph) float64 { return algo.DegreeAssortativity(g) }
+
+// GetEffectiveDiameter estimates the 90th-percentile distance from sampled
+// BFS runs.
+func GetEffectiveDiameter(g *Graph, samples int, seed int64) float64 {
+	return algo.EffectiveDiameter(g, samples, seed)
+}
+
+// FitPowerLaw fits the degree-distribution exponent alpha over degrees >=
+// dmin.
+func FitPowerLaw(g *UGraph, dmin int) (alpha float64, ok bool) {
+	return algo.PowerLawExponent(g, dmin)
+}
+
+// GetDegreePercentiles returns out-degree percentiles (0-100).
+func GetDegreePercentiles(g *Graph, pcts []float64) []int {
+	return algo.DegreePercentiles(g, pcts)
+}
+
+// SimulateCascade runs the independent cascade diffusion model from seeds.
+func SimulateCascade(g *Graph, seeds []int64, p float64, seed int64) map[int64]int {
+	return algo.IndependentCascade(g, seeds, p, seed)
+}
+
+// SimulateSIR runs a discrete SIR epidemic on an undirected graph.
+func SimulateSIR(g *UGraph, seeds []int64, beta, gamma float64, seed int64) SIRResult {
+	return algo.SIR(g, seeds, beta, gamma, seed)
+}
+
+// Subgraph returns the induced subgraph on the given node ids.
+func Subgraph(g *Graph, ids []int64) *Graph { return graph.Subgraph(g, ids) }
+
+// SubgraphUndirected returns the induced undirected subgraph.
+func SubgraphUndirected(g *UGraph, ids []int64) *UGraph { return graph.SubgraphUndirected(g, ids) }
+
+// ReverseGraph returns the graph with all edges flipped.
+func ReverseGraph(g *Graph) *Graph { return graph.Reverse(g) }
+
+// UnionGraphs returns the union of two directed graphs.
+func UnionGraphs(a, b *Graph) *Graph { return graph.Union(a, b) }

@@ -1,0 +1,59 @@
+// Command ringo-server runs the Ringo analytics engine as a multi-session
+// HTTP service: the big-memory machine stays resident and many analysts
+// share it, each in an isolated named session, with cached analytics and
+// async jobs for long-running algorithms.
+//
+// Quickstart:
+//
+//	ringo-server -addr :7475 &
+//	curl -s -X POST localhost:7475/sessions -d '{"id":"demo"}'
+//	curl -s -X POST localhost:7475/sessions/demo/query -d '{"cmd":"gen rmat E 12 20000 7"}'
+//	curl -s -X POST localhost:7475/sessions/demo/query -d '{"cmd":"tograph G E src dst"}'
+//	curl -s -X POST localhost:7475/sessions/demo/jobs  -d '{"cmd":"pagerank PR G"}'
+//	curl -s localhost:7475/jobs/j1
+//	curl -s -X POST localhost:7475/sessions/demo/query -d '{"cmd":"top PR 5"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"ringo/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7475", "listen address")
+	cacheSize := flag.Int("cache", server.DefaultCacheSize, "result cache entries (negative disables)")
+	workers := flag.Int("workers", server.DefaultWorkers, "async job workers")
+	maxSessions := flag.Int("max-sessions", 0, "session cap (0 = unlimited)")
+	allowFileIO := flag.Bool("allow-file-io", false, "permit load/loadgraph/save (host filesystem access) over HTTP")
+	token := flag.String("token", "", "require 'Authorization: Bearer <token>' on every request (empty = no auth)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		CacheSize:   *cacheSize,
+		Workers:     *workers,
+		MaxSessions: *maxSessions,
+		AllowFileIO: *allowFileIO,
+		AuthToken:   *token,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Fprintln(os.Stderr, "ringo-server: shutting down")
+		_ = httpSrv.Close()
+	}()
+
+	log.Printf("ringo-server listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("ringo-server: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ringo/internal/repl"
+	"ringo/internal/server"
+)
+
+// TestShellServerRoundTrip runs the same script through the terminal shell
+// and through the HTTP server and checks the two front-ends produce
+// identical results — both the structured form and the rendered text.
+// Timing and cache provenance are normalized away: they describe how a
+// result was obtained, not what it is.
+func TestShellServerRoundTrip(t *testing.T) {
+	script := []string{
+		"gen rmat E 8 250 6",
+		"tograph G E src dst",
+		"pagerank PR G",
+		"top PR 5",
+		"algo G wcc",
+		"algo G triangles",
+		"scores2table S PR Node Score",
+		"show S 5",
+		"mv S Ranked",
+		"rm Ranked",
+		"ls",
+	}
+
+	// Shell side: the exact evaluate-and-render path exec uses.
+	var shellResults []*repl.Result
+	sh := newShell(&strings.Builder{})
+	for _, line := range script {
+		r, err := sh.eng.Eval(line)
+		if err != nil {
+			t.Fatalf("shell %q: %v", line, err)
+		}
+		shellResults = append(shellResults, r)
+	}
+
+	// Server side: same script over HTTP.
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if _, err := srv.CreateSession("rt"); err != nil {
+		t.Fatal(err)
+	}
+	var serverResults []*repl.Result
+	for _, line := range script {
+		body, _ := json.Marshal(map[string]string{"cmd": line})
+		resp, err := http.Post(ts.URL+"/sessions/rt/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("server %q: status %d", line, resp.StatusCode)
+		}
+		var r repl.Result
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		serverResults = append(serverResults, &r)
+	}
+
+	for i, line := range script {
+		a, b := shellResults[i], serverResults[i]
+		a.ElapsedNS, b.ElapsedNS = 0, 0
+		a.Cached, b.Cached = false, false
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%q: shell and server results differ:\nshell:  %+v\nserver: %+v", line, a, b)
+		}
+		var at, bt strings.Builder
+		a.Render(&at)
+		b.Render(&bt)
+		if at.String() != bt.String() {
+			t.Errorf("%q: rendered output differs:\nshell:  %q\nserver: %q", line, at.String(), bt.String())
+		}
+	}
+}
+
+// TestShellRmMv covers the new workspace-management verbs through the
+// terminal front-end.
+func TestShellRmMv(t *testing.T) {
+	out := runScript(t,
+		"gen rmat E 6 40 1",
+		"mv E Edges",
+		"ls",
+		"rm Edges",
+		"ls",
+	)
+	if !strings.Contains(out, "renamed E to Edges") || !strings.Contains(out, "deleted Edges") {
+		t.Fatalf("output: %s", out)
+	}
+	if !strings.Contains(out, "(workspace empty)") {
+		t.Fatalf("rm did not empty the workspace: %s", out)
+	}
+	if !strings.Contains(out, "from: gen rmat E 6 40 1") {
+		t.Fatalf("rename dropped provenance: %s", out)
+	}
+}

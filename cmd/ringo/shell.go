@@ -5,56 +5,25 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
 	"strings"
 
-	"ringo"
 	"ringo/internal/core"
+	"ringo/internal/repl"
 )
 
-// shell is the interactive front-end: the stand-in for Ringo's Python
-// session. Each line is one verb over named workspace objects.
+// shell is the interactive terminal front-end: a readline loop over the
+// shared repl.Engine (the same evaluator the analytics server exposes over
+// HTTP). Each line is one verb over named workspace objects; the engine
+// returns a structured result and the shell renders it as text.
 type shell struct {
+	eng *repl.Engine
 	ws  *core.Workspace
 	out io.Writer
-	// currentLine is the command being executed; bind records it as the
-	// provenance of objects the command creates.
-	currentLine string
 }
-
-// bind stores an object in the workspace with the executing command as its
-// provenance.
-func (s *shell) bind(name string, o core.Object) {
-	s.ws.SetWithProvenance(name, o, s.currentLine)
-}
-
-const helpText = `Ringo interactive shell — verbs over named objects.
-
-  gen rmat <name> <scale> <edges> [seed]   generate an R-MAT edge table
-  gen posts <name> [questions]             generate a StackOverflow-like posts table
-  load <name> <file> <col:type>...         load a TSV into a table
-  loadgraph <name> <file>                  load an edge-list file into a graph
-  select <out> <tbl> <col> <op> <value>    filter rows (op: == != < <= > >=)
-  filter <out> <tbl> <predicate>           filter with an expression, e.g. Tag = Java and Score > 3
-  join <out> <left> <right> <lcol> <rcol>  equi-join two tables
-  project <out> <tbl> <col>...             keep the named columns
-  groupcount <out> <tbl> <col>...          group rows and count per group
-  order <tbl> asc|desc <col>...            sort a table in place
-  tograph <out> <tbl> <srccol> <dstcol>    table -> directed graph (sort-first)
-  totable <out> <graph>                    graph -> edge table
-  pagerank <out> <graph>                   10-iteration parallel PageRank
-  scores2table <out> <scores> <key> <val>  score map -> sorted table
-  algo <graph> triangles|wcc|scc|3core|diam|motifs|bridges|cuts|toposort|clustering
-                                           run an analysis and print the result
-  top <scores> [k]                         print the k best-scored nodes
-  ls                                       list workspace objects
-  show <tbl> [rows]                        print the first rows of a table
-  save <tbl> <file>                        write a table as TSV
-  help                                     this text
-  quit                                     exit`
 
 func newShell(out io.Writer) *shell {
-	return &shell{ws: core.NewWorkspace(), out: out}
+	eng := repl.New(nil)
+	return &shell{eng: eng, ws: eng.Workspace(), out: out}
 }
 
 // run processes commands until EOF or quit.
@@ -80,498 +49,13 @@ func (s *shell) run(in io.Reader) error {
 	}
 }
 
-// exec runs a single command line.
+// exec evaluates a single command line and renders its result.
 func (s *shell) exec(line string) error {
-	s.currentLine = line
-	args := strings.Fields(line)
-	cmd, args := args[0], args[1:]
-	switch cmd {
-	case "help":
-		fmt.Fprintln(s.out, helpText)
-		return nil
-	case "ls":
-		return s.cmdLs()
-	case "gen":
-		return s.cmdGen(args)
-	case "load":
-		return s.cmdLoad(args)
-	case "loadgraph":
-		return s.cmdLoadGraph(args)
-	case "select":
-		return s.cmdSelect(args)
-	case "filter":
-		return s.cmdFilter(args)
-	case "join":
-		return s.cmdJoin(args)
-	case "project":
-		return s.cmdProject(args)
-	case "groupcount":
-		return s.cmdGroupCount(args)
-	case "order":
-		return s.cmdOrder(args)
-	case "tograph":
-		return s.cmdToGraph(args)
-	case "totable":
-		return s.cmdToTable(args)
-	case "pagerank":
-		return s.cmdPageRank(args)
-	case "scores2table":
-		return s.cmdScoresToTable(args)
-	case "algo":
-		return s.cmdAlgo(args)
-	case "top":
-		return s.cmdTop(args)
-	case "show":
-		return s.cmdShow(args)
-	case "save":
-		return s.cmdSave(args)
-	default:
-		return fmt.Errorf("unknown command %q (try help)", cmd)
-	}
-}
-
-func need(args []string, n int, usage string) error {
-	if len(args) < n {
-		return fmt.Errorf("usage: %s", usage)
-	}
-	return nil
-}
-
-func (s *shell) cmdLs() error {
-	names := s.ws.Names()
-	if len(names) == 0 {
-		fmt.Fprintln(s.out, "(workspace empty)")
-		return nil
-	}
-	for _, n := range names {
-		o, _ := s.ws.Get(n)
-		if prov := s.ws.Provenance(n); prov != "" {
-			fmt.Fprintf(s.out, "  %-12s %s\n               from: %s\n", n, o.Summary(), prov)
-		} else {
-			fmt.Fprintf(s.out, "  %-12s %s\n", n, o.Summary())
-		}
-	}
-	return nil
-}
-
-func (s *shell) cmdGen(args []string) error {
-	if err := need(args, 2, "gen rmat|posts <name> ..."); err != nil {
-		return err
-	}
-	switch args[0] {
-	case "rmat":
-		if err := need(args, 4, "gen rmat <name> <scale> <edges> [seed]"); err != nil {
-			return err
-		}
-		scale, err := strconv.Atoi(args[2])
-		if err != nil {
-			return fmt.Errorf("bad scale %q", args[2])
-		}
-		edges, err := strconv.ParseInt(args[3], 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad edge count %q", args[3])
-		}
-		seed := int64(1)
-		if len(args) > 4 {
-			if seed, err = strconv.ParseInt(args[4], 10, 64); err != nil {
-				return fmt.Errorf("bad seed %q", args[4])
-			}
-		}
-		t := ringo.GenRMATTable(scale, edges, seed)
-		s.bind(args[1], core.Object{Table: t})
-		fmt.Fprintf(s.out, "%s: %d rows\n", args[1], t.NumRows())
-		return nil
-	case "posts":
-		cfg := ringo.DefaultSOConfig()
-		if len(args) > 2 {
-			q, err := strconv.Atoi(args[2])
-			if err != nil {
-				return fmt.Errorf("bad question count %q", args[2])
-			}
-			cfg.Questions = q
-		}
-		t, err := ringo.GenStackOverflowPosts(cfg)
-		if err != nil {
-			return err
-		}
-		s.bind(args[1], core.Object{Table: t})
-		fmt.Fprintf(s.out, "%s: %d rows\n", args[1], t.NumRows())
-		return nil
-	default:
-		return fmt.Errorf("unknown generator %q", args[0])
-	}
-}
-
-// parseSchema parses col:type tokens (type: int, float, string).
-func parseSchema(tokens []string) (ringo.Schema, error) {
-	schema := make(ringo.Schema, 0, len(tokens))
-	for _, tok := range tokens {
-		name, typ, ok := strings.Cut(tok, ":")
-		if !ok {
-			return nil, fmt.Errorf("column %q: want name:type", tok)
-		}
-		var ct ringo.ColType
-		switch typ {
-		case "int":
-			ct = ringo.IntCol
-		case "float":
-			ct = ringo.FloatCol
-		case "string", "str":
-			ct = ringo.StringCol
-		default:
-			return nil, fmt.Errorf("column %q: unknown type %q", name, typ)
-		}
-		schema = append(schema, ringo.Column{Name: name, Type: ct})
-	}
-	return schema, nil
-}
-
-func (s *shell) cmdLoad(args []string) error {
-	if err := need(args, 3, "load <name> <file> <col:type>..."); err != nil {
-		return err
-	}
-	schema, err := parseSchema(args[2:])
+	r, err := s.eng.Eval(line)
 	if err != nil {
 		return err
 	}
-	t, err := ringo.LoadTableTSV(schema, args[1], false)
-	if err != nil {
-		return err
-	}
-	s.bind(args[0], core.Object{Table: t})
-	fmt.Fprintf(s.out, "%s: %d rows\n", args[0], t.NumRows())
-	return nil
-}
-
-func (s *shell) cmdLoadGraph(args []string) error {
-	if err := need(args, 2, "loadgraph <name> <file>"); err != nil {
-		return err
-	}
-	g, err := ringo.LoadEdgeList(args[1])
-	if err != nil {
-		return err
-	}
-	s.bind(args[0], core.Object{Graph: g})
-	fmt.Fprintf(s.out, "%s: %d nodes, %d edges\n", args[0], g.NumNodes(), g.NumEdges())
-	return nil
-}
-
-var opNames = map[string]ringo.CmpOp{
-	"==": ringo.EQ, "=": ringo.EQ, "!=": ringo.NE,
-	"<": ringo.LT, "<=": ringo.LE, ">": ringo.GT, ">=": ringo.GE,
-}
-
-// parseValue tries int, then float, then string.
-func parseValue(tok string) any {
-	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
-		return n
-	}
-	if f, err := strconv.ParseFloat(tok, 64); err == nil {
-		return f
-	}
-	return tok
-}
-
-func (s *shell) cmdSelect(args []string) error {
-	if err := need(args, 5, "select <out> <tbl> <col> <op> <value>"); err != nil {
-		return err
-	}
-	t, err := s.ws.Table(args[1])
-	if err != nil {
-		return err
-	}
-	op, ok := opNames[args[3]]
-	if !ok {
-		return fmt.Errorf("unknown operator %q", args[3])
-	}
-	// The value may contain spaces if quoted crudely; join the rest.
-	val := parseValue(strings.Join(args[4:], " "))
-	out, err := ringo.Select(t, args[2], op, val)
-	if err != nil {
-		return err
-	}
-	s.bind(args[0], core.Object{Table: out})
-	fmt.Fprintf(s.out, "%s: %d rows\n", args[0], out.NumRows())
-	return nil
-}
-
-// cmdFilter is expression select: filter <out> <tbl> <predicate...>, e.g.
-// filter JQ P Tag = Java and Type = question
-func (s *shell) cmdFilter(args []string) error {
-	if err := need(args, 3, "filter <out> <tbl> <predicate>"); err != nil {
-		return err
-	}
-	t, err := s.ws.Table(args[1])
-	if err != nil {
-		return err
-	}
-	out, err := ringo.SelectExpr(t, strings.Join(args[2:], " "))
-	if err != nil {
-		return err
-	}
-	s.bind(args[0], core.Object{Table: out})
-	fmt.Fprintf(s.out, "%s: %d rows\n", args[0], out.NumRows())
-	return nil
-}
-
-func (s *shell) cmdJoin(args []string) error {
-	if err := need(args, 5, "join <out> <left> <right> <lcol> <rcol>"); err != nil {
-		return err
-	}
-	l, err := s.ws.Table(args[1])
-	if err != nil {
-		return err
-	}
-	r, err := s.ws.Table(args[2])
-	if err != nil {
-		return err
-	}
-	out, err := ringo.Join(l, r, args[3], args[4])
-	if err != nil {
-		return err
-	}
-	s.bind(args[0], core.Object{Table: out})
-	fmt.Fprintf(s.out, "%s: %d rows (%s)\n", args[0], out.NumRows(), strings.Join(out.ColNames(), ", "))
-	return nil
-}
-
-func (s *shell) cmdProject(args []string) error {
-	if err := need(args, 3, "project <out> <tbl> <col>..."); err != nil {
-		return err
-	}
-	t, err := s.ws.Table(args[1])
-	if err != nil {
-		return err
-	}
-	out, err := t.Project(args[2:]...)
-	if err != nil {
-		return err
-	}
-	s.bind(args[0], core.Object{Table: out})
-	fmt.Fprintf(s.out, "%s: %d rows\n", args[0], out.NumRows())
-	return nil
-}
-
-func (s *shell) cmdGroupCount(args []string) error {
-	if err := need(args, 3, "groupcount <out> <tbl> <col>..."); err != nil {
-		return err
-	}
-	t, err := s.ws.Table(args[1])
-	if err != nil {
-		return err
-	}
-	out, err := t.Aggregate(args[2:], ringo.Count, "", "count")
-	if err != nil {
-		return err
-	}
-	s.bind(args[0], core.Object{Table: out})
-	fmt.Fprintf(s.out, "%s: %d groups\n", args[0], out.NumRows())
-	return nil
-}
-
-func (s *shell) cmdOrder(args []string) error {
-	if err := need(args, 3, "order <tbl> asc|desc <col>..."); err != nil {
-		return err
-	}
-	t, err := s.ws.Table(args[0])
-	if err != nil {
-		return err
-	}
-	desc := args[1] == "desc"
-	if !desc && args[1] != "asc" {
-		return fmt.Errorf("want asc or desc, got %q", args[1])
-	}
-	return t.OrderBy(desc, args[2:]...)
-}
-
-func (s *shell) cmdToGraph(args []string) error {
-	if err := need(args, 4, "tograph <out> <tbl> <srccol> <dstcol>"); err != nil {
-		return err
-	}
-	t, err := s.ws.Table(args[1])
-	if err != nil {
-		return err
-	}
-	g, err := ringo.ToGraph(t, args[2], args[3])
-	if err != nil {
-		return err
-	}
-	s.bind(args[0], core.Object{Graph: g})
-	fmt.Fprintf(s.out, "%s: %d nodes, %d edges\n", args[0], g.NumNodes(), g.NumEdges())
-	return nil
-}
-
-func (s *shell) cmdToTable(args []string) error {
-	if err := need(args, 2, "totable <out> <graph>"); err != nil {
-		return err
-	}
-	g, err := s.ws.Graph(args[1])
-	if err != nil {
-		return err
-	}
-	t, err := ringo.ToTable(g, "src", "dst")
-	if err != nil {
-		return err
-	}
-	s.bind(args[0], core.Object{Table: t})
-	fmt.Fprintf(s.out, "%s: %d rows\n", args[0], t.NumRows())
-	return nil
-}
-
-func (s *shell) cmdPageRank(args []string) error {
-	if err := need(args, 2, "pagerank <out> <graph>"); err != nil {
-		return err
-	}
-	g, err := s.ws.Graph(args[1])
-	if err != nil {
-		return err
-	}
-	var pr map[int64]float64
-	dt := core.Timed(func() { pr = ringo.GetPageRank(g) })
-	s.bind(args[0], core.Object{Scores: pr})
-	fmt.Fprintf(s.out, "%s: %d nodes scored in %v\n", args[0], len(pr), dt)
-	return nil
-}
-
-func (s *shell) cmdScoresToTable(args []string) error {
-	if err := need(args, 4, "scores2table <out> <scores> <keycol> <valcol>"); err != nil {
-		return err
-	}
-	sc, err := s.ws.Scores(args[1])
-	if err != nil {
-		return err
-	}
-	t, err := ringo.TableFromMap(sc, args[2], args[3])
-	if err != nil {
-		return err
-	}
-	s.bind(args[0], core.Object{Table: t})
-	fmt.Fprintf(s.out, "%s: %d rows\n", args[0], t.NumRows())
-	return nil
-}
-
-func (s *shell) cmdAlgo(args []string) error {
-	if err := need(args, 2, "algo <graph> triangles|wcc|scc|3core|diam"); err != nil {
-		return err
-	}
-	g, err := s.ws.Graph(args[0])
-	if err != nil {
-		return err
-	}
-	switch args[1] {
-	case "triangles":
-		var n int64
-		dt := core.Timed(func() { n = ringo.CountTriangles(ringo.AsUndirected(g)) })
-		fmt.Fprintf(s.out, "%d triangles in %v\n", n, dt)
-	case "wcc":
-		var c ringo.Components
-		dt := core.Timed(func() { c = ringo.GetWCC(g) })
-		fmt.Fprintf(s.out, "%d weak components, largest %d, in %v\n", c.Count, c.MaxSize, dt)
-	case "scc":
-		var c ringo.Components
-		dt := core.Timed(func() { c = ringo.GetSCC(g) })
-		fmt.Fprintf(s.out, "%d strong components, largest %d, in %v\n", c.Count, c.MaxSize, dt)
-	case "3core":
-		var k *ringo.UGraph
-		dt := core.Timed(func() { k = ringo.GetKCoreDirected(g, 3) })
-		fmt.Fprintf(s.out, "3-core: %d nodes, %d edges, in %v\n", k.NumNodes(), k.NumEdges(), dt)
-	case "diam":
-		var d int
-		dt := core.Timed(func() { d = ringo.GetApproxDiameter(g, 8, 1) })
-		fmt.Fprintf(s.out, "approximate diameter %d in %v\n", d, dt)
-	case "motifs":
-		var mc ringo.MotifCounts
-		dt := core.Timed(func() { mc = ringo.CountMotifs(g) })
-		fmt.Fprintf(s.out, "%d cyclic triangles, %d transitive triangles, %d wedges, in %v\n",
-			mc.CyclicTriangles, mc.TransTriangles, mc.Wedges, dt)
-	case "bridges":
-		var br [][2]int64
-		dt := core.Timed(func() { br = ringo.GetBridges(ringo.AsUndirected(g)) })
-		fmt.Fprintf(s.out, "%d bridges in %v\n", len(br), dt)
-	case "cuts":
-		var cuts []int64
-		dt := core.Timed(func() { cuts = ringo.GetArticulationPoints(ringo.AsUndirected(g)) })
-		fmt.Fprintf(s.out, "%d articulation points in %v\n", len(cuts), dt)
-	case "toposort":
-		order, err := ringo.TopoSort(g)
-		if err != nil {
-			fmt.Fprintf(s.out, "not a DAG: %v\n", err)
-			return nil
-		}
-		fmt.Fprintf(s.out, "topological order of %d nodes (first 10): %v\n", len(order), order[:min(10, len(order))])
-	case "clustering":
-		var cc float64
-		dt := core.Timed(func() { cc = ringo.GetClusteringCoefficient(ringo.AsUndirected(g)) })
-		fmt.Fprintf(s.out, "average clustering coefficient %.4f in %v\n", cc, dt)
-	default:
-		return fmt.Errorf("unknown algorithm %q", args[1])
-	}
-	return nil
-}
-
-func (s *shell) cmdTop(args []string) error {
-	if err := need(args, 1, "top <scores> [k]"); err != nil {
-		return err
-	}
-	sc, err := s.ws.Scores(args[0])
-	if err != nil {
-		return err
-	}
-	k := 10
-	if len(args) > 1 {
-		if k, err = strconv.Atoi(args[1]); err != nil {
-			return fmt.Errorf("bad k %q", args[1])
-		}
-	}
-	for i, sco := range ringo.TopK(sc, k) {
-		fmt.Fprintf(s.out, "  %2d. node %-10d %.6f\n", i+1, sco.ID, sco.Score)
-	}
-	return nil
-}
-
-func (s *shell) cmdShow(args []string) error {
-	if err := need(args, 1, "show <tbl> [rows]"); err != nil {
-		return err
-	}
-	t, err := s.ws.Table(args[0])
-	if err != nil {
-		return err
-	}
-	n := 10
-	if len(args) > 1 {
-		if n, err = strconv.Atoi(args[1]); err != nil {
-			return fmt.Errorf("bad row count %q", args[1])
-		}
-	}
-	if n > t.NumRows() {
-		n = t.NumRows()
-	}
-	fmt.Fprintf(s.out, "  %s\n", strings.Join(t.ColNames(), "\t"))
-	for row := 0; row < n; row++ {
-		cells := make([]string, t.NumCols())
-		for col := range cells {
-			cells[col] = fmt.Sprint(t.Value(col, row))
-		}
-		fmt.Fprintf(s.out, "  %s\n", strings.Join(cells, "\t"))
-	}
-	if t.NumRows() > n {
-		fmt.Fprintf(s.out, "  ... %d more rows\n", t.NumRows()-n)
-	}
-	return nil
-}
-
-func (s *shell) cmdSave(args []string) error {
-	if err := need(args, 2, "save <tbl> <file>"); err != nil {
-		return err
-	}
-	t, err := s.ws.Table(args[0])
-	if err != nil {
-		return err
-	}
-	if err := t.SaveTSVFile(args[1], true); err != nil {
-		return err
-	}
-	fmt.Fprintf(s.out, "wrote %d rows to %s\n", t.NumRows(), args[1])
+	r.Render(s.out)
 	return nil
 }
 

@@ -26,6 +26,17 @@
 //	pr := ringo.GetPageRank(g)
 //	experts, _ := ringo.TableFromMap(pr, "User", "Scr")
 //
+// Beyond the library façade, the engine is exposed two interactive ways
+// over the same evaluator (internal/repl): cmd/ringo is the single-user
+// terminal shell, and cmd/ringo-server is a multi-session HTTP service.
+// The server gives every analyst an isolated named Workspace guarded by a
+// per-session RWMutex (read-only queries run concurrently), shares one LRU
+// result cache keyed by object fingerprint + command so repeated analytics
+// on unchanged data are answered without recomputation, and accepts
+// long-running algorithms as async jobs polled by id. NewEngine, NewServer
+// and NewWorkspace construct these pieces programmatically; see README.md
+// for the HTTP API and a curl quickstart.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of every table in the paper's evaluation; cmd/ringo-bench
 // regenerates them.

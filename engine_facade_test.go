@@ -1,0 +1,49 @@
+package ringo_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"ringo"
+)
+
+// TestEngineAndServerFacade exercises the interactive-engine re-exports:
+// a workspace-backed evaluator and the HTTP server constructor.
+func TestEngineAndServerFacade(t *testing.T) {
+	ws := ringo.NewWorkspace()
+	eng := ringo.NewEngine(ws)
+	for _, cmd := range []string{"gen rmat E 7 100 2", "tograph G E src dst", "pagerank PR G"} {
+		if _, err := eng.Eval(cmd); err != nil {
+			t.Fatalf("Eval(%q): %v", cmd, err)
+		}
+	}
+	if eng.Workspace() != ws {
+		t.Fatal("engine not backed by the provided workspace")
+	}
+	fp, ok := ws.Fingerprint("G")
+	if !ok || fp == "" {
+		t.Fatalf("Fingerprint(G) = %q, %v", fp, ok)
+	}
+	if err := ws.Rename("PR", "Ranks"); err != nil {
+		t.Fatal(err)
+	}
+	if !ws.Delete("Ranks") {
+		t.Fatal("Delete(Ranks) = false")
+	}
+
+	srv := ringo.NewServer(ringo.ServerConfig{CacheSize: 8, Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	id, err := srv.CreateSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := srv.Eval(id, "gen rmat E 6 30 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Message != "E: 30 rows" {
+		t.Fatalf("server eval message = %q", r.Message)
+	}
+}

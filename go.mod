@@ -1,0 +1,3 @@
+module ringo
+
+go 1.24

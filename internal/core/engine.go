@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ringo/internal/algo"
 	"ringo/internal/conv"
@@ -143,14 +144,24 @@ func schemaString(t *table.Table) string {
 	return s
 }
 
-// Workspace is a named-object registry backing the interactive shell — the
-// stand-in for the Python session in which Ringo objects live. Each binding
-// records its provenance (the operation that created it), extending Ringo's
-// fine-grained data tracking from rows to whole objects: ls shows how every
-// object in the session came to be.
+// Workspace is a named-object registry backing the interactive shell and
+// the analytics server — the stand-in for the Python session in which Ringo
+// objects live. Each binding records its provenance (the operation that
+// created it), extending Ringo's fine-grained data tracking from rows to
+// whole objects: ls shows how every object in the session came to be.
+//
+// Every binding also carries a version drawn from a workspace-wide clock.
+// Rebinding or touching a name bumps its version, so (name, version) pairs —
+// surfaced as Fingerprint — identify an object's exact state and make safe
+// cache keys: any mutation invalidates all fingerprints taken before it.
+//
+// A Workspace is safe for concurrent use by multiple goroutines.
 type Workspace struct {
+	mu    sync.RWMutex
 	objs  map[string]Object
 	prov  map[string]string
+	ver   map[string]uint64
+	clock uint64
 	order []string
 }
 
@@ -159,6 +170,7 @@ func NewWorkspace() *Workspace {
 	return &Workspace{
 		objs: make(map[string]Object),
 		prov: make(map[string]string),
+		ver:  make(map[string]uint64),
 	}
 }
 
@@ -170,26 +182,122 @@ func (w *Workspace) Set(name string, o Object) {
 // SetWithProvenance binds name to an object and records the operation that
 // produced it.
 func (w *Workspace) SetWithProvenance(name string, o Object, prov string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if _, exists := w.objs[name]; !exists {
 		w.order = append(w.order, name)
 	}
 	w.objs[name] = o
 	w.prov[name] = prov
+	w.clock++
+	w.ver[name] = w.clock
+}
+
+// Delete removes a binding, reporting whether it existed.
+func (w *Workspace) Delete(name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.objs[name]; !ok {
+		return false
+	}
+	delete(w.objs, name)
+	delete(w.prov, name)
+	delete(w.ver, name)
+	for i, n := range w.order {
+		if n == name {
+			w.order = append(w.order[:i], w.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Rename rebinds oldName as newName, carrying provenance along. The renamed
+// binding gets a fresh version (its identity changed), and any existing
+// binding at newName is replaced.
+func (w *Workspace) Rename(oldName, newName string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	o, ok := w.objs[oldName]
+	if !ok {
+		return fmt.Errorf("no object named %q", oldName)
+	}
+	if oldName == newName {
+		return nil
+	}
+	prov := w.prov[oldName]
+	delete(w.objs, oldName)
+	delete(w.prov, oldName)
+	delete(w.ver, oldName)
+	for i, n := range w.order {
+		if n == newName {
+			w.order = append(w.order[:i], w.order[i+1:]...)
+			break
+		}
+	}
+	for i, n := range w.order {
+		if n == oldName {
+			w.order[i] = newName
+			break
+		}
+	}
+	w.objs[newName] = o
+	w.prov[newName] = prov
+	w.clock++
+	w.ver[newName] = w.clock
+	return nil
+}
+
+// Touch bumps the version of a binding whose object was mutated in place
+// (e.g. an in-place sort), invalidating fingerprints taken before the
+// mutation. It is a no-op for unknown names.
+func (w *Workspace) Touch(name string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.objs[name]; ok {
+		w.clock++
+		w.ver[name] = w.clock
+	}
+}
+
+// Version returns the binding's version (0, false if unbound).
+func (w *Workspace) Version(name string) (uint64, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	v, ok := w.ver[name]
+	return v, ok
+}
+
+// Fingerprint identifies the exact state of a binding as "name#version".
+// It changes whenever the name is rebound, renamed or touched, so it is a
+// safe component of result-cache keys.
+func (w *Workspace) Fingerprint(name string) (string, bool) {
+	v, ok := w.Version(name)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s#%d", name, v), true
 }
 
 // Provenance returns the recorded origin of a binding ("" if untracked).
 func (w *Workspace) Provenance(name string) string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return w.prov[name]
 }
 
 // Get returns the object bound to name.
 func (w *Workspace) Get(name string) (Object, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	o, ok := w.objs[name]
 	return o, ok
 }
 
 // Table returns the table bound to name or an error.
 func (w *Workspace) Table(name string) (*table.Table, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	o, ok := w.objs[name]
 	if !ok {
 		return nil, fmt.Errorf("no object named %q", name)
@@ -202,6 +310,8 @@ func (w *Workspace) Table(name string) (*table.Table, error) {
 
 // Graph returns the directed graph bound to name or an error.
 func (w *Workspace) Graph(name string) (*graph.Directed, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	o, ok := w.objs[name]
 	if !ok {
 		return nil, fmt.Errorf("no object named %q", name)
@@ -214,6 +324,8 @@ func (w *Workspace) Graph(name string) (*graph.Directed, error) {
 
 // Scores returns the score map bound to name or an error.
 func (w *Workspace) Scores(name string) (map[int64]float64, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	o, ok := w.objs[name]
 	if !ok {
 		return nil, fmt.Errorf("no object named %q", name)
@@ -226,5 +338,7 @@ func (w *Workspace) Scores(name string) (map[int64]float64, error) {
 
 // Names lists bound names in binding order.
 func (w *Workspace) Names() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return append([]string(nil), w.order...)
 }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ringo/internal/gen"
+)
+
+func TestWorkspaceDelete(t *testing.T) {
+	ws := NewWorkspace()
+	ws.SetWithProvenance("a", Object{Table: gen.RMATTable(6, 10, 1)}, "gen a")
+	ws.Set("b", Object{Table: gen.RMATTable(6, 10, 2)})
+	if !ws.Delete("a") {
+		t.Fatal("Delete(a) = false, want true")
+	}
+	if ws.Delete("a") {
+		t.Fatal("second Delete(a) = true, want false")
+	}
+	if _, ok := ws.Get("a"); ok {
+		t.Fatal("a still bound after delete")
+	}
+	if _, ok := ws.Version("a"); ok {
+		t.Fatal("a still versioned after delete")
+	}
+	if ws.Provenance("a") != "" {
+		t.Fatal("a still has provenance after delete")
+	}
+	if names := ws.Names(); len(names) != 1 || names[0] != "b" {
+		t.Fatalf("Names() = %v, want [b]", names)
+	}
+}
+
+func TestWorkspaceRenameCarriesProvenance(t *testing.T) {
+	ws := NewWorkspace()
+	ws.SetWithProvenance("old", Object{Table: gen.RMATTable(6, 10, 1)}, "gen rmat old 6 10 1")
+	ws.Set("other", Object{Table: gen.RMATTable(6, 10, 2)})
+	if err := ws.Rename("old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ws.Get("old"); ok {
+		t.Fatal("old still bound after rename")
+	}
+	if prov := ws.Provenance("new"); prov != "gen rmat old 6 10 1" {
+		t.Fatalf("provenance not carried: %q", prov)
+	}
+	if names := ws.Names(); len(names) != 2 || names[0] != "new" || names[1] != "other" {
+		t.Fatalf("Names() = %v, want [new other]", names)
+	}
+	if err := ws.Rename("missing", "x"); err == nil {
+		t.Fatal("rename of missing object did not error")
+	}
+	// Renaming onto an existing name replaces it.
+	if err := ws.Rename("new", "other"); err != nil {
+		t.Fatal(err)
+	}
+	if names := ws.Names(); len(names) != 1 || names[0] != "other" {
+		t.Fatalf("Names() after replace = %v, want [other]", names)
+	}
+	// Self-rename is a no-op.
+	if err := ws.Rename("other", "other"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkspaceFingerprintChangesOnMutation(t *testing.T) {
+	ws := NewWorkspace()
+	if _, ok := ws.Fingerprint("g"); ok {
+		t.Fatal("fingerprint of unbound name")
+	}
+	ws.Set("g", Object{Table: gen.RMATTable(6, 10, 1)})
+	fp1, ok := ws.Fingerprint("g")
+	if !ok {
+		t.Fatal("no fingerprint after Set")
+	}
+	ws.Touch("g")
+	fp2, _ := ws.Fingerprint("g")
+	if fp1 == fp2 {
+		t.Fatalf("Touch did not change fingerprint: %q", fp1)
+	}
+	ws.Set("g", Object{Table: gen.RMATTable(6, 10, 2)})
+	fp3, _ := ws.Fingerprint("g")
+	if fp3 == fp2 {
+		t.Fatalf("rebind did not change fingerprint: %q", fp2)
+	}
+	// Rename gives the binding a fresh identity under the new name.
+	if err := ws.Rename("g", "h"); err != nil {
+		t.Fatal(err)
+	}
+	fph, ok := ws.Fingerprint("h")
+	if !ok || fph == fp3 {
+		t.Fatalf("fingerprint after rename = %q ok=%v", fph, ok)
+	}
+	// Touch of an unknown name is a no-op, not a bind.
+	ws.Touch("nope")
+	if _, ok := ws.Version("nope"); ok {
+		t.Fatal("Touch bound an unknown name")
+	}
+}
+
+// TestWorkspaceConcurrentAccess hammers one workspace from many goroutines
+// doing Set/Get/Delete/Rename/Fingerprint; run under -race it verifies the
+// workspace's internal locking (the layer session locks build on).
+func TestWorkspaceConcurrentAccess(t *testing.T) {
+	ws := NewWorkspace()
+	tbl := gen.RMATTable(6, 20, 1)
+	const goroutines = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			name := fmt.Sprintf("obj%d", id%4)
+			for k := 0; k < iters; k++ {
+				switch k % 5 {
+				case 0:
+					ws.SetWithProvenance(name, Object{Table: tbl}, "set "+name)
+				case 1:
+					if o, ok := ws.Get(name); ok && o.Kind() != "table" {
+						t.Errorf("unexpected kind %q", o.Kind())
+					}
+					ws.Names()
+				case 2:
+					ws.Fingerprint(name)
+					ws.Provenance(name)
+				case 3:
+					ws.Touch(name)
+				case 4:
+					if id%2 == 0 {
+						ws.Delete(name)
+					} else {
+						_ = ws.Rename(name, name+"x")
+						ws.Delete(name + "x")
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,728 @@
+// Package repl is the Ringo command evaluator: the interpreter for the
+// shell's verb language (load, select, join, tograph, pagerank, ...),
+// extracted out of the terminal front-end so the same engine can serve an
+// interactive TTY, an HTTP session, or a script. Eval parses one command
+// line, executes it against a core.Workspace, and returns a structured
+// Result; front-ends decide how to present it (Render reproduces the
+// classic shell text, the server marshals it as JSON).
+//
+// Expensive analytics (pagerank, algo) can be backed by a result cache: the
+// engine keys computations by the input object's workspace fingerprint plus
+// the command, so a repeated PageRank over an unchanged graph is served
+// without recomputation, and any rebind/touch of the graph invalidates the
+// entry by changing the fingerprint.
+package repl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ringo/internal/algo"
+	"ringo/internal/core"
+	"ringo/internal/gen"
+	"ringo/internal/graph"
+	"ringo/internal/table"
+)
+
+// Result is the structured outcome of one evaluated command. Message holds
+// the deterministic one-line summary; tabular payloads (ls, show, top) are
+// carried in Columns/Rows; ElapsedNS and Cached describe how the result was
+// obtained and are excluded from result equality across front-ends.
+type Result struct {
+	Cmd       string     `json:"cmd"`
+	Bound     string     `json:"bound,omitempty"`
+	Kind      string     `json:"kind,omitempty"`
+	Message   string     `json:"message,omitempty"`
+	Columns   []string   `json:"columns,omitempty"`
+	Rows      [][]string `json:"rows,omitempty"`
+	Truncated int        `json:"truncated,omitempty"`
+	ElapsedNS int64      `json:"elapsed_ns,omitempty"`
+	Cached    bool       `json:"cached,omitempty"`
+}
+
+// CachedResult is the cacheable payload of an expensive analytics command:
+// the deterministic message, plus the score map for commands that bind one.
+type CachedResult struct {
+	Message string
+	Scores  map[int64]float64
+}
+
+// Cache stores computed analytics results keyed by (input fingerprint,
+// command). Implementations must be safe for concurrent use.
+type Cache interface {
+	Get(key string) (CachedResult, bool)
+	Put(key string, v CachedResult)
+}
+
+// Engine evaluates the Ringo command language against a workspace.
+// The zero value is not usable; construct with New. An Engine itself adds
+// no locking beyond the workspace's: callers that need command-level
+// atomicity (a server session) wrap Eval in their own lock, using ReadOnly
+// to decide between shared and exclusive acquisition.
+type Engine struct {
+	ws    *core.Workspace
+	cache Cache
+}
+
+// New returns an engine over the given workspace (a fresh one if nil).
+func New(ws *core.Workspace) *Engine {
+	if ws == nil {
+		ws = core.NewWorkspace()
+	}
+	return &Engine{ws: ws}
+}
+
+// SetCache installs a result cache (nil disables caching).
+func (e *Engine) SetCache(c Cache) { e.cache = c }
+
+// Workspace exposes the engine's backing workspace.
+func (e *Engine) Workspace() *core.Workspace { return e.ws }
+
+// ReadOnly reports whether the command line only reads workspace state.
+// Unknown or empty commands are treated as read-only — they fail without
+// side effects.
+func ReadOnly(line string) bool {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return true
+	}
+	return !mutatingVerbs[f[0]]
+}
+
+// TouchesFiles reports whether the command reads or writes host files
+// (load, loadgraph, save). A network front-end serving untrusted clients
+// can use this to refuse host filesystem access while the local shell
+// keeps the verbs.
+func TouchesFiles(line string) bool {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return false
+	}
+	switch f[0] {
+	case "load", "loadgraph", "save":
+		return true
+	}
+	return false
+}
+
+// mutatingVerbs is the set of state-changing commands; everything else
+// (ls, show, top, algo, save, help) only reads workspace state.
+var mutatingVerbs = map[string]bool{
+	"gen": true, "load": true, "loadgraph": true, "select": true,
+	"filter": true, "join": true, "project": true, "groupcount": true,
+	"order": true, "tograph": true, "totable": true, "pagerank": true,
+	"scores2table": true, "rm": true, "mv": true,
+}
+
+// HelpText documents the command language for interactive front-ends.
+const HelpText = `Ringo interactive shell — verbs over named objects.
+
+  gen rmat <name> <scale> <edges> [seed]   generate an R-MAT edge table
+  gen posts <name> [questions]             generate a StackOverflow-like posts table
+  load <name> <file> <col:type>...         load a TSV into a table
+  loadgraph <name> <file>                  load an edge-list file into a graph
+  select <out> <tbl> <col> <op> <value>    filter rows (op: == != < <= > >=)
+  filter <out> <tbl> <predicate>           filter with an expression, e.g. Tag = Java and Score > 3
+  join <out> <left> <right> <lcol> <rcol>  equi-join two tables
+  project <out> <tbl> <col>...             keep the named columns
+  groupcount <out> <tbl> <col>...          group rows and count per group
+  order <tbl> asc|desc <col>...            sort a table in place
+  tograph <out> <tbl> <srccol> <dstcol>    table -> directed graph (sort-first)
+  totable <out> <graph>                    graph -> edge table
+  pagerank <out> <graph>                   10-iteration parallel PageRank
+  scores2table <out> <scores> <key> <val>  score map -> sorted table
+  algo <graph> triangles|wcc|scc|3core|diam|motifs|bridges|cuts|toposort|clustering
+                                           run an analysis and print the result
+  top <scores> [k]                         print the k best-scored nodes
+  rm <name>                                delete a workspace object
+  mv <old> <new>                           rename a workspace object
+  ls                                       list workspace objects
+  show <tbl> [rows]                        print the first rows of a table
+  save <tbl> <file>                        write a table as TSV
+  help                                     this text
+  quit                                     exit`
+
+// Eval parses and executes one command line, returning its structured
+// result. The line must be a single non-empty command; front-ends strip
+// blanks, comments and quit themselves.
+func (e *Engine) Eval(line string) (*Result, error) {
+	line = strings.TrimSpace(line)
+	args := strings.Fields(line)
+	if len(args) == 0 {
+		return nil, fmt.Errorf("empty command")
+	}
+	cmd := args[0]
+	args = args[1:]
+	r := &Result{Cmd: line}
+	var err error
+	switch cmd {
+	case "help":
+		r.Message = HelpText
+	case "ls":
+		err = e.cmdLs(r)
+	case "gen":
+		err = e.cmdGen(r, args)
+	case "load":
+		err = e.cmdLoad(r, args)
+	case "loadgraph":
+		err = e.cmdLoadGraph(r, args)
+	case "select":
+		err = e.cmdSelect(r, args)
+	case "filter":
+		err = e.cmdFilter(r, args)
+	case "join":
+		err = e.cmdJoin(r, args)
+	case "project":
+		err = e.cmdProject(r, args)
+	case "groupcount":
+		err = e.cmdGroupCount(r, args)
+	case "order":
+		err = e.cmdOrder(r, args)
+	case "tograph":
+		err = e.cmdToGraph(r, args)
+	case "totable":
+		err = e.cmdToTable(r, args)
+	case "pagerank":
+		err = e.cmdPageRank(r, args)
+	case "scores2table":
+		err = e.cmdScoresToTable(r, args)
+	case "algo":
+		err = e.cmdAlgo(r, args)
+	case "top":
+		err = e.cmdTop(r, args)
+	case "show":
+		err = e.cmdShow(r, args)
+	case "save":
+		err = e.cmdSave(r, args)
+	case "rm":
+		err = e.cmdRm(r, args)
+	case "mv":
+		err = e.cmdMv(r, args)
+	default:
+		err = fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// bind stores an object with the executing command as its provenance and
+// records the binding on the result.
+func (e *Engine) bind(r *Result, name string, o core.Object) {
+	e.ws.SetWithProvenance(name, o, r.Cmd)
+	r.Bound = name
+	r.Kind = o.Kind()
+}
+
+func need(args []string, n int, usage string) error {
+	if len(args) < n {
+		return fmt.Errorf("usage: %s", usage)
+	}
+	return nil
+}
+
+func (e *Engine) cmdLs(r *Result) error {
+	names := e.ws.Names()
+	if len(names) == 0 {
+		r.Message = "(workspace empty)"
+		return nil
+	}
+	r.Columns = []string{"name", "summary", "provenance"}
+	for _, n := range names {
+		o, _ := e.ws.Get(n)
+		r.Rows = append(r.Rows, []string{n, o.Summary(), e.ws.Provenance(n)})
+	}
+	return nil
+}
+
+func (e *Engine) cmdGen(r *Result, args []string) error {
+	if err := need(args, 2, "gen rmat|posts <name> ..."); err != nil {
+		return err
+	}
+	switch args[0] {
+	case "rmat":
+		if err := need(args, 4, "gen rmat <name> <scale> <edges> [seed]"); err != nil {
+			return err
+		}
+		scale, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fmt.Errorf("bad scale %q", args[2])
+		}
+		edges, err := strconv.ParseInt(args[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad edge count %q", args[3])
+		}
+		seed := int64(1)
+		if len(args) > 4 {
+			if seed, err = strconv.ParseInt(args[4], 10, 64); err != nil {
+				return fmt.Errorf("bad seed %q", args[4])
+			}
+		}
+		t := gen.RMATTable(scale, edges, seed)
+		e.bind(r, args[1], core.Object{Table: t})
+		r.Message = fmt.Sprintf("%s: %d rows", args[1], t.NumRows())
+		return nil
+	case "posts":
+		cfg := gen.DefaultSOConfig()
+		if len(args) > 2 {
+			q, err := strconv.Atoi(args[2])
+			if err != nil {
+				return fmt.Errorf("bad question count %q", args[2])
+			}
+			cfg.Questions = q
+		}
+		t, err := gen.StackOverflowPosts(cfg)
+		if err != nil {
+			return err
+		}
+		e.bind(r, args[1], core.Object{Table: t})
+		r.Message = fmt.Sprintf("%s: %d rows", args[1], t.NumRows())
+		return nil
+	default:
+		return fmt.Errorf("unknown generator %q", args[0])
+	}
+}
+
+// parseSchema parses col:type tokens (type: int, float, string).
+func parseSchema(tokens []string) (table.Schema, error) {
+	schema := make(table.Schema, 0, len(tokens))
+	for _, tok := range tokens {
+		name, typ, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, fmt.Errorf("column %q: want name:type", tok)
+		}
+		var ct table.Type
+		switch typ {
+		case "int":
+			ct = table.Int
+		case "float":
+			ct = table.Float
+		case "string", "str":
+			ct = table.String
+		default:
+			return nil, fmt.Errorf("column %q: unknown type %q", name, typ)
+		}
+		schema = append(schema, table.Column{Name: name, Type: ct})
+	}
+	return schema, nil
+}
+
+func (e *Engine) cmdLoad(r *Result, args []string) error {
+	if err := need(args, 3, "load <name> <file> <col:type>..."); err != nil {
+		return err
+	}
+	schema, err := parseSchema(args[2:])
+	if err != nil {
+		return err
+	}
+	t, err := table.LoadTSVFile(args[1], schema, false)
+	if err != nil {
+		return err
+	}
+	e.bind(r, args[0], core.Object{Table: t})
+	r.Message = fmt.Sprintf("%s: %d rows", args[0], t.NumRows())
+	return nil
+}
+
+func (e *Engine) cmdLoadGraph(r *Result, args []string) error {
+	if err := need(args, 2, "loadgraph <name> <file>"); err != nil {
+		return err
+	}
+	g, err := graph.LoadEdgeListFile(args[1])
+	if err != nil {
+		return err
+	}
+	e.bind(r, args[0], core.Object{Graph: g})
+	r.Message = fmt.Sprintf("%s: %d nodes, %d edges", args[0], g.NumNodes(), g.NumEdges())
+	return nil
+}
+
+var opNames = map[string]table.CmpOp{
+	"==": table.EQ, "=": table.EQ, "!=": table.NE,
+	"<": table.LT, "<=": table.LE, ">": table.GT, ">=": table.GE,
+}
+
+// parseValue tries int, then float, then string.
+func parseValue(tok string) any {
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return f
+	}
+	return tok
+}
+
+func (e *Engine) cmdSelect(r *Result, args []string) error {
+	if err := need(args, 5, "select <out> <tbl> <col> <op> <value>"); err != nil {
+		return err
+	}
+	t, err := e.ws.Table(args[1])
+	if err != nil {
+		return err
+	}
+	op, ok := opNames[args[3]]
+	if !ok {
+		return fmt.Errorf("unknown operator %q", args[3])
+	}
+	// The value may contain spaces if quoted crudely; join the rest.
+	val := parseValue(strings.Join(args[4:], " "))
+	out, err := t.Select(args[2], op, val)
+	if err != nil {
+		return err
+	}
+	e.bind(r, args[0], core.Object{Table: out})
+	r.Message = fmt.Sprintf("%s: %d rows", args[0], out.NumRows())
+	return nil
+}
+
+// cmdFilter is expression select: filter <out> <tbl> <predicate...>, e.g.
+// filter JQ P Tag = Java and Type = question
+func (e *Engine) cmdFilter(r *Result, args []string) error {
+	if err := need(args, 3, "filter <out> <tbl> <predicate>"); err != nil {
+		return err
+	}
+	t, err := e.ws.Table(args[1])
+	if err != nil {
+		return err
+	}
+	out, err := t.SelectExpr(strings.Join(args[2:], " "))
+	if err != nil {
+		return err
+	}
+	e.bind(r, args[0], core.Object{Table: out})
+	r.Message = fmt.Sprintf("%s: %d rows", args[0], out.NumRows())
+	return nil
+}
+
+func (e *Engine) cmdJoin(r *Result, args []string) error {
+	if err := need(args, 5, "join <out> <left> <right> <lcol> <rcol>"); err != nil {
+		return err
+	}
+	l, err := e.ws.Table(args[1])
+	if err != nil {
+		return err
+	}
+	rt, err := e.ws.Table(args[2])
+	if err != nil {
+		return err
+	}
+	out, err := l.Join(rt, args[3], args[4])
+	if err != nil {
+		return err
+	}
+	e.bind(r, args[0], core.Object{Table: out})
+	r.Message = fmt.Sprintf("%s: %d rows (%s)", args[0], out.NumRows(), strings.Join(out.ColNames(), ", "))
+	return nil
+}
+
+func (e *Engine) cmdProject(r *Result, args []string) error {
+	if err := need(args, 3, "project <out> <tbl> <col>..."); err != nil {
+		return err
+	}
+	t, err := e.ws.Table(args[1])
+	if err != nil {
+		return err
+	}
+	out, err := t.Project(args[2:]...)
+	if err != nil {
+		return err
+	}
+	e.bind(r, args[0], core.Object{Table: out})
+	r.Message = fmt.Sprintf("%s: %d rows", args[0], out.NumRows())
+	return nil
+}
+
+func (e *Engine) cmdGroupCount(r *Result, args []string) error {
+	if err := need(args, 3, "groupcount <out> <tbl> <col>..."); err != nil {
+		return err
+	}
+	t, err := e.ws.Table(args[1])
+	if err != nil {
+		return err
+	}
+	out, err := t.Aggregate(args[2:], table.Count, "", "count")
+	if err != nil {
+		return err
+	}
+	e.bind(r, args[0], core.Object{Table: out})
+	r.Message = fmt.Sprintf("%s: %d groups", args[0], out.NumRows())
+	return nil
+}
+
+func (e *Engine) cmdOrder(r *Result, args []string) error {
+	if err := need(args, 3, "order <tbl> asc|desc <col>..."); err != nil {
+		return err
+	}
+	t, err := e.ws.Table(args[0])
+	if err != nil {
+		return err
+	}
+	desc := args[1] == "desc"
+	if !desc && args[1] != "asc" {
+		return fmt.Errorf("want asc or desc, got %q", args[1])
+	}
+	if err := t.OrderBy(desc, args[2:]...); err != nil {
+		return err
+	}
+	// In-place mutation: bump the version so cached results over the old
+	// row order can no longer be served.
+	e.ws.Touch(args[0])
+	r.Bound = args[0]
+	r.Kind = "table"
+	return nil
+}
+
+func (e *Engine) cmdToGraph(r *Result, args []string) error {
+	if err := need(args, 4, "tograph <out> <tbl> <srccol> <dstcol>"); err != nil {
+		return err
+	}
+	t, err := e.ws.Table(args[1])
+	if err != nil {
+		return err
+	}
+	g, err := core.ToGraph(t, args[2], args[3])
+	if err != nil {
+		return err
+	}
+	e.bind(r, args[0], core.Object{Graph: g})
+	r.Message = fmt.Sprintf("%s: %d nodes, %d edges", args[0], g.NumNodes(), g.NumEdges())
+	return nil
+}
+
+func (e *Engine) cmdToTable(r *Result, args []string) error {
+	if err := need(args, 2, "totable <out> <graph>"); err != nil {
+		return err
+	}
+	g, err := e.ws.Graph(args[1])
+	if err != nil {
+		return err
+	}
+	t, err := core.ToTable(g, "src", "dst")
+	if err != nil {
+		return err
+	}
+	e.bind(r, args[0], core.Object{Table: t})
+	r.Message = fmt.Sprintf("%s: %d rows", args[0], t.NumRows())
+	return nil
+}
+
+// cacheKey builds the result-cache key for an analytics computation over
+// the named input object. The output binding name is deliberately excluded:
+// "pagerank A G" and "pagerank B G" are the same computation.
+func (e *Engine) cacheKey(verb, input string) (string, bool) {
+	if e.cache == nil {
+		return "", false
+	}
+	fp, ok := e.ws.Fingerprint(input)
+	if !ok {
+		return "", false
+	}
+	return verb + "|" + fp, true
+}
+
+func (e *Engine) cmdPageRank(r *Result, args []string) error {
+	if err := need(args, 2, "pagerank <out> <graph>"); err != nil {
+		return err
+	}
+	g, err := e.ws.Graph(args[1])
+	if err != nil {
+		return err
+	}
+	key, cacheable := e.cacheKey("pagerank", args[1])
+	if cacheable {
+		if v, ok := e.cache.Get(key); ok {
+			e.bind(r, args[0], core.Object{Scores: v.Scores})
+			r.Message = fmt.Sprintf("%s: %d nodes scored", args[0], len(v.Scores))
+			r.Cached = true
+			return nil
+		}
+	}
+	start := time.Now()
+	pr := core.GetPageRank(g)
+	r.ElapsedNS = time.Since(start).Nanoseconds()
+	e.bind(r, args[0], core.Object{Scores: pr})
+	r.Message = fmt.Sprintf("%s: %d nodes scored", args[0], len(pr))
+	if cacheable {
+		e.cache.Put(key, CachedResult{Scores: pr})
+	}
+	return nil
+}
+
+func (e *Engine) cmdScoresToTable(r *Result, args []string) error {
+	if err := need(args, 4, "scores2table <out> <scores> <keycol> <valcol>"); err != nil {
+		return err
+	}
+	sc, err := e.ws.Scores(args[1])
+	if err != nil {
+		return err
+	}
+	t, err := core.TableFromMap(sc, args[2], args[3])
+	if err != nil {
+		return err
+	}
+	e.bind(r, args[0], core.Object{Table: t})
+	r.Message = fmt.Sprintf("%s: %d rows", args[0], t.NumRows())
+	return nil
+}
+
+func (e *Engine) cmdAlgo(r *Result, args []string) error {
+	if err := need(args, 2, "algo <graph> triangles|wcc|scc|3core|diam"); err != nil {
+		return err
+	}
+	g, err := e.ws.Graph(args[0])
+	if err != nil {
+		return err
+	}
+	key, cacheable := e.cacheKey("algo "+args[1], args[0])
+	if cacheable {
+		if v, ok := e.cache.Get(key); ok {
+			r.Message = v.Message
+			r.Cached = true
+			return nil
+		}
+	}
+	start := time.Now()
+	switch args[1] {
+	case "triangles":
+		n := algo.Triangles(graph.AsUndirected(g))
+		r.Message = fmt.Sprintf("%d triangles", n)
+	case "wcc":
+		c := algo.WCC(g)
+		r.Message = fmt.Sprintf("%d weak components, largest %d", c.Count, c.MaxSize)
+	case "scc":
+		c := algo.SCC(g)
+		r.Message = fmt.Sprintf("%d strong components, largest %d", c.Count, c.MaxSize)
+	case "3core":
+		k := algo.KCoreDirected(g, 3)
+		r.Message = fmt.Sprintf("3-core: %d nodes, %d edges", k.NumNodes(), k.NumEdges())
+	case "diam":
+		d := algo.ApproxDiameter(g, 8, 1)
+		r.Message = fmt.Sprintf("approximate diameter %d", d)
+	case "motifs":
+		mc := algo.CountMotifs(g)
+		r.Message = fmt.Sprintf("%d cyclic triangles, %d transitive triangles, %d wedges",
+			mc.CyclicTriangles, mc.TransTriangles, mc.Wedges)
+	case "bridges":
+		br := algo.Bridges(graph.AsUndirected(g))
+		r.Message = fmt.Sprintf("%d bridges", len(br))
+	case "cuts":
+		cuts := algo.ArticulationPoints(graph.AsUndirected(g))
+		r.Message = fmt.Sprintf("%d articulation points", len(cuts))
+	case "toposort":
+		order, err := algo.TopoSort(g)
+		if err != nil {
+			r.Message = fmt.Sprintf("not a DAG: %v", err)
+			return nil
+		}
+		r.Message = fmt.Sprintf("topological order of %d nodes (first 10): %v", len(order), order[:min(10, len(order))])
+	case "clustering":
+		cc := algo.ClusteringCoefficient(graph.AsUndirected(g))
+		r.Message = fmt.Sprintf("average clustering coefficient %.4f", cc)
+	default:
+		return fmt.Errorf("unknown algorithm %q", args[1])
+	}
+	r.ElapsedNS = time.Since(start).Nanoseconds()
+	if cacheable {
+		e.cache.Put(key, CachedResult{Message: r.Message})
+	}
+	return nil
+}
+
+func (e *Engine) cmdTop(r *Result, args []string) error {
+	if err := need(args, 1, "top <scores> [k]"); err != nil {
+		return err
+	}
+	sc, err := e.ws.Scores(args[0])
+	if err != nil {
+		return err
+	}
+	k := 10
+	if len(args) > 1 {
+		if k, err = strconv.Atoi(args[1]); err != nil || k < 1 {
+			return fmt.Errorf("bad k %q", args[1])
+		}
+	}
+	r.Columns = []string{"rank", "node", "score"}
+	for i, sco := range algo.TopK(sc, k) {
+		r.Rows = append(r.Rows, []string{
+			strconv.Itoa(i + 1),
+			strconv.FormatInt(sco.ID, 10),
+			strconv.FormatFloat(sco.Score, 'f', 6, 64),
+		})
+	}
+	return nil
+}
+
+func (e *Engine) cmdShow(r *Result, args []string) error {
+	if err := need(args, 1, "show <tbl> [rows]"); err != nil {
+		return err
+	}
+	t, err := e.ws.Table(args[0])
+	if err != nil {
+		return err
+	}
+	n := 10
+	if len(args) > 1 {
+		if n, err = strconv.Atoi(args[1]); err != nil || n < 0 {
+			return fmt.Errorf("bad row count %q", args[1])
+		}
+	}
+	if n > t.NumRows() {
+		n = t.NumRows()
+	}
+	r.Columns = t.ColNames()
+	for row := 0; row < n; row++ {
+		cells := make([]string, t.NumCols())
+		for col := range cells {
+			cells[col] = fmt.Sprint(t.Value(col, row))
+		}
+		r.Rows = append(r.Rows, cells)
+	}
+	r.Truncated = t.NumRows() - n
+	return nil
+}
+
+func (e *Engine) cmdSave(r *Result, args []string) error {
+	if err := need(args, 2, "save <tbl> <file>"); err != nil {
+		return err
+	}
+	t, err := e.ws.Table(args[0])
+	if err != nil {
+		return err
+	}
+	if err := t.SaveTSVFile(args[1], true); err != nil {
+		return err
+	}
+	r.Message = fmt.Sprintf("wrote %d rows to %s", t.NumRows(), args[1])
+	return nil
+}
+
+func (e *Engine) cmdRm(r *Result, args []string) error {
+	if err := need(args, 1, "rm <name>"); err != nil {
+		return err
+	}
+	if !e.ws.Delete(args[0]) {
+		return fmt.Errorf("no object named %q", args[0])
+	}
+	r.Message = fmt.Sprintf("deleted %s", args[0])
+	return nil
+}
+
+func (e *Engine) cmdMv(r *Result, args []string) error {
+	if err := need(args, 2, "mv <old> <new>"); err != nil {
+		return err
+	}
+	if err := e.ws.Rename(args[0], args[1]); err != nil {
+		return err
+	}
+	r.Bound = args[1]
+	if o, ok := e.ws.Get(args[1]); ok {
+		r.Kind = o.Kind()
+	}
+	r.Message = fmt.Sprintf("renamed %s to %s", args[0], args[1])
+	return nil
+}

@@ -1,0 +1,63 @@
+package repl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// verb returns the command verb of the evaluated line.
+func (r *Result) verb() string {
+	f := strings.Fields(r.Cmd)
+	if len(f) == 0 {
+		return ""
+	}
+	return f[0]
+}
+
+// Render writes the result in the classic terminal-shell format: summary
+// lines get their timing suffix back, tabular payloads (ls, show, top) are
+// laid out exactly as the original single-user shell printed them. This
+// keeps the TTY front-end byte-compatible while the HTTP front-end ships
+// the same Result as JSON.
+func (r *Result) Render(w io.Writer) {
+	switch r.verb() {
+	case "ls":
+		if len(r.Rows) == 0 {
+			fmt.Fprintln(w, r.Message)
+			return
+		}
+		for _, row := range r.Rows {
+			if prov := row[2]; prov != "" {
+				fmt.Fprintf(w, "  %-12s %s\n               from: %s\n", row[0], row[1], prov)
+			} else {
+				fmt.Fprintf(w, "  %-12s %s\n", row[0], row[1])
+			}
+		}
+	case "top":
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "  %2s. node %-10s %s\n", row[0], row[1], row[2])
+		}
+	case "show":
+		fmt.Fprintf(w, "  %s\n", strings.Join(r.Columns, "\t"))
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "  %s\n", strings.Join(row, "\t"))
+		}
+		if r.Truncated > 0 {
+			fmt.Fprintf(w, "  ... %d more rows\n", r.Truncated)
+		}
+	default:
+		if r.Message == "" {
+			return
+		}
+		line := r.Message
+		if r.ElapsedNS > 0 {
+			line += fmt.Sprintf(" in %v", time.Duration(r.ElapsedNS))
+		}
+		if r.Cached {
+			line += " (cached)"
+		}
+		fmt.Fprintln(w, line)
+	}
+}

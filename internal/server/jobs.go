@@ -1,0 +1,254 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ringo/internal/repl"
+)
+
+// Job states: a job moves queued -> running -> done | failed.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobView is the externally visible snapshot of an async job.
+type JobView struct {
+	ID       string       `json:"id"`
+	Session  string       `json:"session"`
+	Cmd      string       `json:"cmd"`
+	State    string       `json:"state"`
+	Result   *repl.Result `json:"result,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Created  time.Time    `json:"created"`
+	Started  *time.Time   `json:"started,omitempty"`
+	Finished *time.Time   `json:"finished,omitempty"`
+}
+
+type job struct {
+	mu       sync.Mutex
+	id       string
+	seq      int
+	sess     *session
+	session  string
+	cmd      string
+	state    string
+	result   *repl.Result
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+func (j *job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.id, Session: j.session, Cmd: j.cmd, State: j.state,
+		Result: j.result, Error: j.err, Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// jobRunner owns the job registry and the worker pool that drains the
+// queue. Workers execute jobs through Server.evalOn against the session
+// instance captured at submit time, so a job takes the same per-session
+// lock as a synchronous query: a long-running mutation serializes with
+// other commands on its session but never blocks an HTTP connection or
+// another session.
+type jobRunner struct {
+	srv     *Server
+	queue   chan *job
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // job ids oldest-first, for retention pruning
+	nextID  int
+	closed  bool
+	drained sync.WaitGroup
+}
+
+// maxRetainedJobs bounds the job registry: once exceeded, the oldest
+// terminal (done/failed) jobs are forgotten so a long-lived server does
+// not accumulate job history without bound.
+const maxRetainedJobs = 1024
+
+func newJobRunner(srv *Server, workers int) *jobRunner {
+	r := &jobRunner{
+		srv:   srv,
+		queue: make(chan *job, jobQueueDepth),
+		jobs:  make(map[string]*job),
+	}
+	r.drained.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.work()
+	}
+	return r
+}
+
+func (r *jobRunner) submit(sess *session, cmd string) (*job, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("server closed")
+	}
+	r.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j%d", r.nextID),
+		seq:     r.nextID,
+		sess:    sess,
+		session: sess.id,
+		cmd:     cmd,
+		state:   JobQueued,
+		created: time.Now(),
+	}
+	// The non-blocking send happens under r.mu: close() flips r.closed
+	// under the same lock before closing the channel, so this send can
+	// never race with the close and panic.
+	select {
+	case r.queue <- j:
+	default:
+		return nil, fmt.Errorf("job queue full (%d pending)", jobQueueDepth)
+	}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	r.pruneLocked()
+	return j, nil
+}
+
+// pruneLocked forgets the oldest terminal jobs beyond the retention cap.
+// Queued and running jobs are never pruned. Caller holds r.mu.
+func (r *jobRunner) pruneLocked() {
+	for len(r.jobs) > maxRetainedJobs {
+		pruned := false
+		for i, id := range r.order {
+			j := r.jobs[id]
+			j.mu.Lock()
+			terminal := j.state == JobDone || j.state == JobFailed
+			j.mu.Unlock()
+			if terminal {
+				delete(r.jobs, id)
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return
+		}
+	}
+}
+
+func (r *jobRunner) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+func (r *jobRunner) list(session string) []JobView {
+	r.mu.Lock()
+	jobs := make([]*job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		jobs = append(jobs, j)
+	}
+	r.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		v := j.snapshot()
+		if session == "" || v.Session == session {
+			views = append(views, v)
+		}
+	}
+	return views
+}
+
+func (r *jobRunner) counts() map[string]int {
+	out := map[string]int{JobQueued: 0, JobRunning: 0, JobDone: 0, JobFailed: 0}
+	for _, v := range r.list("") {
+		out[v.State]++
+	}
+	return out
+}
+
+func (r *jobRunner) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+func (r *jobRunner) work() {
+	defer r.drained.Done()
+	for j := range r.queue {
+		// During shutdown the remaining queue is failed, not run: an
+		// operator stopping the server must not wait out a backlog of
+		// multi-minute analytics.
+		if r.isClosed() {
+			j.mu.Lock()
+			if j.state == JobQueued {
+				j.state = JobFailed
+				j.err = "server closed before job ran"
+				j.finished = time.Now()
+			}
+			j.mu.Unlock()
+			continue
+		}
+		j.mu.Lock()
+		if j.state != JobQueued {
+			j.mu.Unlock()
+			continue
+		}
+		j.state = JobRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+
+		// Run against the session instance captured at submit time — if
+		// the session was dropped (even if a same-named one now exists),
+		// the job fails rather than touching the newcomer's workspace.
+		var res *repl.Result
+		var err error
+		if cur, ok := r.srv.session(j.session); !ok || cur != j.sess {
+			err = fmt.Errorf("session %q was dropped before the job ran", j.session)
+		} else {
+			res, err = r.srv.evalOn(j.sess, j.cmd)
+		}
+
+		j.mu.Lock()
+		j.finished = time.Now()
+		if err != nil {
+			j.state = JobFailed
+			j.err = err.Error()
+		} else {
+			j.state = JobDone
+			j.result = res
+		}
+		j.mu.Unlock()
+	}
+}
+
+// close stops accepting jobs, lets in-flight jobs finish, and fails the
+// queued backlog without running it.
+func (r *jobRunner) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.queue)
+	r.drained.Wait()
+}

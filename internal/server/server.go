@@ -1,0 +1,473 @@
+// Package server exposes the Ringo analytics engine as a long-lived,
+// multi-session HTTP service — the shared-memory counterpart of the
+// terminal shell. Each session owns one workspace and is guarded by an
+// RWMutex: read-only queries (show, top, algo, ls, ...) run concurrently
+// under the shared lock, while mutating commands serialize. All sessions
+// share one LRU result cache keyed by (session, object fingerprint,
+// command), so repeated analytics over unchanged objects are answered
+// without recomputation. Long-running commands can be submitted as async
+// jobs (POST /sessions/{id}/jobs) and polled (GET /jobs/{id}) so no HTTP
+// connection is held open for minutes.
+//
+// Endpoints:
+//
+//	POST   /sessions                create a session ({"id": "name"} optional)
+//	GET    /sessions                list sessions
+//	GET    /sessions/{id}           one session's objects
+//	DELETE /sessions/{id}           drop a session
+//	POST   /sessions/{id}/query     {"cmd": "..."} -> repl.Result (synchronous)
+//	POST   /sessions/{id}/jobs      {"cmd": "..."} -> 202 + job id (async)
+//	GET    /jobs/{id}               job status and result
+//	GET    /jobs                    list jobs (?session=id filters)
+//	GET    /stats                   sessions, jobs, cache hits/misses
+package server
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringo/internal/core"
+	"ringo/internal/repl"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// CacheSize bounds the shared result cache (entries). 0 means
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// Workers is the async job worker pool size (0 means DefaultWorkers).
+	Workers int
+	// MaxSessions caps concurrent sessions (0 means unlimited).
+	MaxSessions int
+	// AllowFileIO permits the file-touching verbs (load, loadgraph,
+	// save) over HTTP. Off by default: unlike the local shell, the
+	// server's clients must not get arbitrary read/write access to the
+	// host filesystem.
+	AllowFileIO bool
+	// AuthToken, when non-empty, requires every request to carry
+	// "Authorization: Bearer <token>". Without it the server trusts the
+	// network — suitable only behind a private interface or proxy, since
+	// any client can then query, mutate or drop any session.
+	AuthToken string
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheSize = 256
+	DefaultWorkers   = 4
+	jobQueueDepth    = 256
+)
+
+// session is one named workspace plus its command-level lock. The RWMutex
+// gives each command atomicity over the workspace: read-only commands take
+// the shared lock and overlap, mutators serialize.
+type session struct {
+	id          string
+	mu          sync.RWMutex
+	eng         *repl.Engine
+	created     time.Time
+	cachePrefix string
+	// dropped stops in-flight evaluations from re-inserting cache
+	// entries after DropSession purged the session's prefix.
+	dropped atomic.Bool
+}
+
+// Server is the multi-session analytics service. It implements
+// http.Handler; construct with New and Close when done.
+type Server struct {
+	mux   *http.ServeMux
+	cache *LRU
+
+	authToken string
+
+	mu         sync.RWMutex
+	sessions   map[string]*session
+	nextSess   int
+	maxSess    int
+	allowFiles bool
+	// cacheEpoch makes each session instance's cache namespace unique:
+	// dropping and recreating a session id must not inherit the old
+	// instance's entries (a fresh workspace restarts its version clock,
+	// so bare fingerprints would repeat).
+	cacheEpoch uint64
+
+	jobs *jobRunner
+
+	// testHookQueryBarrier, when set, runs after a query acquires its
+	// session lock and before evaluation — tests use it to prove that
+	// read-only queries overlap.
+	testHookQueryBarrier func(sessionID string, readOnly bool)
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		mux:        http.NewServeMux(),
+		sessions:   make(map[string]*session),
+		maxSess:    cfg.MaxSessions,
+		allowFiles: cfg.AllowFileIO,
+		authToken:  cfg.AuthToken,
+	}
+	if cfg.CacheSize >= 0 {
+		size := cfg.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		s.cache = NewLRU(size)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	s.jobs = newJobRunner(s, workers)
+
+	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /sessions", s.handleListSessions)
+	s.mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /sessions/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /sessions/{id}/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP checks the bearer token (when configured) and dispatches to
+// the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.authToken != "" {
+		got := r.Header.Get("Authorization")
+		want := "Bearer " + s.authToken
+		if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+			writeError(w, http.StatusUnauthorized, fmt.Errorf("missing or invalid bearer token"))
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the job workers; queued jobs are marked failed.
+func (s *Server) Close() { s.jobs.close() }
+
+// CacheStats returns cumulative result-cache hits, misses and entry count
+// (zeros when caching is disabled).
+func (s *Server) CacheStats() (hits, misses uint64, size int) {
+	if s.cache == nil {
+		return 0, 0, 0
+	}
+	return s.cache.Stats()
+}
+
+// Sentinel errors CreateSession wraps, so the HTTP layer can map each
+// failure mode to the right status (400 invalid, 503 full, 409 duplicate).
+var (
+	ErrInvalidSessionID = errors.New("invalid session id")
+	ErrSessionLimit     = errors.New("session limit reached")
+)
+
+// validSessionID matches client-supplied session names: URL-safe, one path
+// segment, bounded. Anything else could not be addressed by the
+// /sessions/{id}/... routes it is served under.
+var validSessionID = regexp.MustCompile(`^[A-Za-z0-9_.-]{1,64}$`)
+
+// CreateSession makes a new named session (a generated id when name is "").
+func (s *Server) CreateSession(name string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxSess > 0 && len(s.sessions) >= s.maxSess {
+		return "", fmt.Errorf("%w (%d)", ErrSessionLimit, s.maxSess)
+	}
+	if name == "" {
+		s.nextSess++
+		name = fmt.Sprintf("s%d", s.nextSess)
+		for s.sessions[name] != nil {
+			s.nextSess++
+			name = fmt.Sprintf("s%d", s.nextSess)
+		}
+	} else if !validSessionID.MatchString(name) {
+		return "", fmt.Errorf("%w %q (want 1-64 chars of [A-Za-z0-9_.-])", ErrInvalidSessionID, name)
+	} else if s.sessions[name] != nil {
+		return "", fmt.Errorf("session %q already exists", name)
+	}
+	sess := &session{id: name, eng: repl.New(core.NewWorkspace()), created: time.Now()}
+	if s.cache != nil {
+		s.cacheEpoch++
+		sess.cachePrefix = fmt.Sprintf("%s@%d|", name, s.cacheEpoch)
+		sess.eng.SetCache(sessionCache{sess: sess, lru: s.cache})
+	}
+	s.sessions[name] = sess
+	return name, nil
+}
+
+// DropSession removes a session, reporting whether it existed. Its result
+// cache entries are purged so dead entries stop consuming shared budget.
+func (s *Server) DropSession(id string) bool {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	sess.dropped.Store(true)
+	if s.cache != nil && sess.cachePrefix != "" {
+		s.cache.DeletePrefix(sess.cachePrefix)
+	}
+	return true
+}
+
+// SessionIDs lists current session ids, sorted.
+func (s *Server) SessionIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (s *Server) session(id string) (*session, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// Eval runs one command in a session under its command-level lock:
+// read-only commands share the lock, mutators hold it exclusively.
+func (s *Server) Eval(sessionID, cmd string) (*repl.Result, error) {
+	sess, ok := s.session(sessionID)
+	if !ok {
+		return nil, errNoSession(sessionID)
+	}
+	return s.evalOn(sess, cmd)
+}
+
+// evalOn is the single evaluation path for synchronous queries and async
+// jobs. It takes the session instance, not its id: a job queued against
+// one instance must never run in a same-named session created later. It
+// also converts engine panics into errors so one bad command from one
+// client can never take down every analyst's in-memory session.
+func (s *Server) evalOn(sess *session, cmd string) (res *repl.Result, err error) {
+	if !s.allowFiles && repl.TouchesFiles(cmd) {
+		return nil, fmt.Errorf("file access is disabled on this server (load, loadgraph, save)")
+	}
+	readOnly := repl.ReadOnly(cmd)
+	if readOnly {
+		sess.mu.RLock()
+		defer sess.mu.RUnlock()
+	} else {
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, errInternal{fmt.Errorf("internal error evaluating %q: %v", cmd, p)}
+		}
+	}()
+	if s.testHookQueryBarrier != nil {
+		s.testHookQueryBarrier(sess.id, readOnly)
+	}
+	return sess.eng.Eval(cmd)
+}
+
+type errNoSession string
+
+func (e errNoSession) Error() string { return fmt.Sprintf("no session %q", string(e)) }
+
+// errInternal marks a server-side failure (an engine panic) so the HTTP
+// layer reports 500, not 400.
+type errInternal struct{ err error }
+
+func (e errInternal) Error() string { return e.err.Error() }
+
+// --- HTTP plumbing ---
+
+type cmdRequest struct {
+	Cmd string `json:"cmd"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func readCmd(w http.ResponseWriter, r *http.Request) (string, bool) {
+	var req cmdRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return "", false
+	}
+	if strings.TrimSpace(req.Cmd) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty cmd"))
+		return "", false
+	}
+	return req.Cmd, true
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID string `json:"id"`
+	}
+	// An empty body is fine (the server names the session); anything
+	// else must parse.
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	id, err := s.CreateSession(req.ID)
+	if err != nil {
+		status := http.StatusConflict
+		switch {
+		case errors.Is(err, ErrInvalidSessionID):
+			status = http.StatusBadRequest
+		case errors.Is(err, ErrSessionLimit):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	type sessInfo struct {
+		ID      string    `json:"id"`
+		Objects int       `json:"objects"`
+		Created time.Time `json:"created"`
+	}
+	out := []sessInfo{}
+	for _, id := range s.SessionIDs() {
+		if sess, ok := s.session(id); ok {
+			out = append(out, sessInfo{
+				ID:      id,
+				Objects: len(sess.eng.Workspace().Names()),
+				Created: sess.created,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, ok := s.session(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoSession(id))
+		return
+	}
+	type objInfo struct {
+		Name       string `json:"name"`
+		Kind       string `json:"kind"`
+		Summary    string `json:"summary"`
+		Provenance string `json:"provenance,omitempty"`
+	}
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	ws := sess.eng.Workspace()
+	objs := []objInfo{}
+	for _, n := range ws.Names() {
+		o, _ := ws.Get(n)
+		objs = append(objs, objInfo{Name: n, Kind: o.Kind(), Summary: o.Summary(), Provenance: ws.Provenance(n)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "created": sess.created, "objects": objs})
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.DropSession(id) {
+		writeError(w, http.StatusNotFound, errNoSession(id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cmd, ok := readCmd(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.Eval(id, cmd)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch err.(type) {
+		case errNoSession:
+			status = http.StatusNotFound
+		case errInternal:
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, ok := s.session(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errNoSession(id))
+		return
+	}
+	cmd, ok := readCmd(w, r)
+	if !ok {
+		return
+	}
+	job, err := s.jobs.submit(sess, cmd)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.snapshot())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.snapshot())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	session := r.URL.Query().Get("session")
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list(session)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.CacheStats()
+	s.mu.RLock()
+	nSess := len(s.sessions)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions": nSess,
+		"jobs":     s.jobs.counts(),
+		"cache": map[string]any{
+			"hits":    hits,
+			"misses":  misses,
+			"entries": size,
+		},
+	})
+}

@@ -8,8 +8,44 @@ import (
 	"ringo/internal/core"
 	"ringo/internal/gen"
 	"ringo/internal/graph"
+	"ringo/internal/repl"
+	"ringo/internal/server"
 	"ringo/internal/table"
 )
+
+// Interactive engine and analytics server, re-exported from internal/repl
+// and internal/server.
+type (
+	// Workspace is a named-object session store with provenance and
+	// versioned fingerprints; safe for concurrent use.
+	Workspace = core.Workspace
+	// Object is a workspace value: a table, graph or score map.
+	Object = core.Object
+	// Engine evaluates the shell command language against a Workspace,
+	// returning structured Results.
+	Engine = repl.Engine
+	// Result is the structured outcome of one evaluated command.
+	Result = repl.Result
+	// ResultCache is the pluggable cache interface consumed by
+	// Engine.SetCache.
+	ResultCache = repl.Cache
+	// CachedResult is the cacheable payload of an analytics command.
+	CachedResult = repl.CachedResult
+	// Server is the multi-session analytics HTTP service.
+	Server = server.Server
+	// ServerConfig sizes a Server (cache entries, job workers, session cap).
+	ServerConfig = server.Config
+)
+
+// NewWorkspace returns an empty session workspace.
+func NewWorkspace() *Workspace { return core.NewWorkspace() }
+
+// NewEngine returns a command evaluator over ws (a fresh workspace if nil).
+func NewEngine(ws *Workspace) *Engine { return repl.New(ws) }
+
+// NewServer returns a multi-session analytics server ready to serve HTTP;
+// Close it when done.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // Core data types, re-exported from the engine.
 type (

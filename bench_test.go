@@ -6,6 +6,7 @@
 package ringo_test
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -356,6 +357,36 @@ func BenchmarkAblationMutexMapPut(b *testing.B) {
 			k++
 		}
 	})
+}
+
+// --- Workspace snapshot encode/restore ------------------------------------
+
+// BenchmarkSnapshotRoundTrip measures the full durability cycle the
+// snapshot subsystem exists for: serialize a workspace holding an edge
+// table, its graph and a PageRank score map, then restore it into a fresh
+// workspace. Per-object encode/decode runs in parallel.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	setupBench(b)
+	ws := ringo.NewWorkspace()
+	ws.Set("E", ringo.Object{Table: benchLJ.CachedEdgeTable()})
+	ws.Set("G", ringo.Object{Graph: benchGraphs[benchLJ.Name]})
+	ws.Set("PR", ringo.Object{Scores: ringo.GetPageRank(benchGraphs[benchLJ.Name])})
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := ringo.SnapshotWorkspace(ws, &buf); err != nil {
+			b.Fatal(err)
+		}
+		back, err := ringo.RestoreWorkspace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(back.Names()) != 3 {
+			b.Fatal("restore lost objects")
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
 }
 
 // --- Library benchmarks beyond the paper's tables ------------------------

@@ -12,6 +12,11 @@
 //	curl -s -X POST localhost:7475/sessions/demo/jobs  -d '{"cmd":"pagerank PR G"}'
 //	curl -s localhost:7475/jobs/j1
 //	curl -s -X POST localhost:7475/sessions/demo/query -d '{"cmd":"top PR 5"}'
+//
+// With -allow-file-io the server can persist and reload whole sessions as
+// binary workspace snapshots (POST /sessions/{id}/snapshot and /restore),
+// and -restore <file> warm-starts a restarted server from such a snapshot
+// before the listener comes up.
 package main
 
 import (
@@ -30,8 +35,10 @@ func main() {
 	cacheSize := flag.Int("cache", server.DefaultCacheSize, "result cache entries (negative disables)")
 	workers := flag.Int("workers", server.DefaultWorkers, "async job workers")
 	maxSessions := flag.Int("max-sessions", 0, "session cap (0 = unlimited)")
-	allowFileIO := flag.Bool("allow-file-io", false, "permit load/loadgraph/save (host filesystem access) over HTTP")
+	allowFileIO := flag.Bool("allow-file-io", false, "permit load/loadgraph/save/snapshot/restore (host filesystem access) over HTTP")
 	token := flag.String("token", "", "require 'Authorization: Bearer <token>' on every request (empty = no auth)")
+	restorePath := flag.String("restore", "", "warm start: restore this workspace snapshot into a session before serving")
+	restoreSession := flag.String("restore-session", "main", "session id the -restore snapshot is loaded into")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -42,6 +49,13 @@ func main() {
 		AuthToken:   *token,
 	})
 	defer srv.Close()
+
+	if *restorePath != "" {
+		if err := srv.WarmStart(*restoreSession, *restorePath); err != nil {
+			log.Fatalf("ringo-server: -restore %s: %v", *restorePath, err)
+		}
+		log.Printf("ringo-server: restored session %q from %s", *restoreSession, *restorePath)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	go func() {

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"ringo/internal/snapshot"
+)
+
+// Snapshot serializes the workspace — every object with its provenance and
+// version, plus the version clock — to out in the binary snapshot format
+// (see internal/snapshot for the layout). The workspace read lock is held
+// for the whole write, so the snapshot is a consistent cut: no binding can
+// be added, dropped or rebound while it is being taken.
+func (w *Workspace) Snapshot(out io.Writer) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	objs := make([]snapshot.Object, 0, len(w.order))
+	for _, name := range w.order {
+		o := w.objs[name]
+		objs = append(objs, snapshot.Object{
+			Name:       name,
+			Provenance: w.prov[name],
+			Version:    w.ver[name],
+			Table:      o.Table,
+			Graph:      o.Graph,
+			UGraph:     o.UGraph,
+			Scores:     o.Scores,
+		})
+	}
+	return snapshot.Write(out, w.clock, objs)
+}
+
+// Restore replaces the workspace contents with the objects of a snapshot.
+// Decoding happens before any lock is taken; the object map is then swapped
+// atomically under the write lock, so concurrent readers see either the old
+// workspace or the new one, never a mix — and a corrupt snapshot leaves the
+// workspace untouched.
+//
+// Versions are shifted by the workspace's current clock: restoring into a
+// fresh workspace (clock 0) reproduces every saved version — and therefore
+// every fingerprint — byte-for-byte, while restoring over a live workspace
+// bumps all versions past anything previously issued, so fingerprint-keyed
+// caches can never serve results computed against pre-restore objects.
+func (w *Workspace) Restore(in io.Reader) error {
+	clock, objs, err := snapshot.Read(in)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	base := w.clock
+	w.objs = make(map[string]Object, len(objs))
+	w.prov = make(map[string]string, len(objs))
+	w.ver = make(map[string]uint64, len(objs))
+	w.order = make([]string, 0, len(objs))
+	maxVer := clock
+	for _, so := range objs {
+		w.objs[so.Name] = Object{
+			Table:  so.Table,
+			Graph:  so.Graph,
+			UGraph: so.UGraph,
+			Scores: so.Scores,
+		}
+		w.prov[so.Name] = so.Provenance
+		w.ver[so.Name] = base + so.Version
+		w.order = append(w.order, so.Name)
+		if so.Version > maxVer {
+			maxVer = so.Version
+		}
+	}
+	w.clock = base + maxVer
+	return nil
+}
+
+// SnapshotFile is Snapshot writing to the named file. The snapshot is
+// written to a temporary file in the same directory and renamed into place
+// on success, so a failed or interrupted snapshot never destroys a
+// previous good snapshot at the same path.
+func (w *Workspace) SnapshotFile(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := w.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Flush data before the rename: without it, a crash after a journaled
+	// rename could leave the target pointing at unwritten blocks, losing
+	// the old good snapshot anyway.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// RestoreFile is Restore reading from the named file.
+func (w *Workspace) RestoreFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return w.Restore(f)
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ringo/internal/graph"
+	"ringo/internal/table"
+)
+
+// snapshotWorkspace builds a workspace holding all four object kinds — a
+// table with a string column, a directed graph, an undirected graph and a
+// score map — the exact mix the acceptance criteria call for.
+func snapshotWorkspace(t *testing.T) *Workspace {
+	t.Helper()
+	ws := NewWorkspace()
+	tbl, err := table.New(table.Schema{
+		{Name: "User", Type: table.String},
+		{Name: "Posts", Type: table.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []struct {
+		u string
+		n int64
+	}{{"alice", 4}, {"bob", 2}, {"", 0}} {
+		if err := tbl.AppendRow(row.u, row.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := graph.NewDirected()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	u := graph.NewUndirected()
+	u.AddEdge(5, 6)
+	ws.SetWithProvenance("T", Object{Table: tbl}, "load T users.tsv User:string Posts:int")
+	ws.SetWithProvenance("G", Object{Graph: g}, "tograph G T src dst")
+	ws.SetWithProvenance("U", Object{UGraph: u}, "")
+	ws.SetWithProvenance("PR", Object{Scores: map[int64]float64{1: 0.7, 2: 0.3}}, "pagerank PR G")
+	return ws
+}
+
+func TestWorkspaceSnapshotRestoreRoundTrip(t *testing.T) {
+	ws := snapshotWorkspace(t)
+	var buf bytes.Buffer
+	if err := ws.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restoring into a fresh workspace must reproduce names, provenance
+	// and fingerprints byte-for-byte.
+	fresh := NewWorkspace()
+	if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	wantNames := ws.Names()
+	gotNames := fresh.Names()
+	if len(gotNames) != len(wantNames) {
+		t.Fatalf("names = %v, want %v", gotNames, wantNames)
+	}
+	for i, name := range wantNames {
+		if gotNames[i] != name {
+			t.Fatalf("names = %v, want %v", gotNames, wantNames)
+		}
+		if got, want := fresh.Provenance(name), ws.Provenance(name); got != want {
+			t.Fatalf("provenance(%s) = %q, want %q", name, got, want)
+		}
+		wantFP, _ := ws.Fingerprint(name)
+		gotFP, ok := fresh.Fingerprint(name)
+		if !ok || gotFP != wantFP {
+			t.Fatalf("fingerprint(%s) = %q, want %q", name, gotFP, wantFP)
+		}
+	}
+	tbl, err := fresh.Table("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 || tbl.Value(0, 0) != "alice" || tbl.Value(0, 2) != "" {
+		t.Fatalf("table content lost: %d rows", tbl.NumRows())
+	}
+	g, err := fresh.Graph("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(2, 3) {
+		t.Fatal("graph edge lost")
+	}
+	if o, _ := fresh.Get("U"); o.UGraph == nil || !o.UGraph.HasEdge(6, 5) {
+		t.Fatal("ugraph lost")
+	}
+	sc, err := fresh.Scores("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc[1] != 0.7 {
+		t.Fatalf("scores lost: %v", sc)
+	}
+}
+
+// TestWorkspaceRestoreBumpsVersionsOverLiveState: restoring over a dirty
+// workspace must issue fingerprints unlike any handed out before, so a
+// cache keyed by pre-restore fingerprints cannot serve stale results.
+func TestWorkspaceRestoreBumpsVersionsOverLiveState(t *testing.T) {
+	ws := snapshotWorkspace(t)
+	var buf bytes.Buffer
+	if err := ws.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	live := NewWorkspace()
+	live.Set("T", Object{Scores: map[int64]float64{9: 9}})
+	live.Set("other", Object{Scores: map[int64]float64{1: 1}})
+	preFP, _ := live.Fingerprint("T")
+
+	if err := live.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Replaced wholesale: the non-snapshot binding is gone.
+	if _, ok := live.Get("other"); ok {
+		t.Fatal("restore merged instead of swapping")
+	}
+	postFP, ok := live.Fingerprint("T")
+	if !ok {
+		t.Fatal("T missing after restore")
+	}
+	if postFP == preFP {
+		t.Fatalf("restored fingerprint %q collides with pre-restore state", postFP)
+	}
+	// New bindings after restore must keep advancing past everything.
+	live.Set("new", Object{Scores: map[int64]float64{5: 5}})
+	vNew, _ := live.Version("new")
+	for _, name := range live.Names() {
+		if name == "new" {
+			continue
+		}
+		if v, _ := live.Version(name); v >= vNew {
+			t.Fatalf("restored %s version %d not below fresh binding version %d", name, v, vNew)
+		}
+	}
+}
+
+func TestWorkspaceRestoreRejectsCorruptSnapshotUntouched(t *testing.T) {
+	ws := snapshotWorkspace(t)
+	var buf bytes.Buffer
+	if err := ws.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mangled := append([]byte(nil), buf.Bytes()...)
+	mangled[len(mangled)-4] ^= 0xff // corrupt the last object's payload
+
+	target := NewWorkspace()
+	target.Set("keep", Object{Scores: map[int64]float64{1: 1}})
+	err := target.Restore(bytes.NewReader(mangled))
+	if err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+	if !strings.Contains(err.Error(), `"PR"`) {
+		t.Fatalf("error %q does not name the corrupt object", err)
+	}
+	if _, ok := target.Get("keep"); !ok {
+		t.Fatal("failed restore clobbered the workspace")
+	}
+}
+
+func TestWorkspaceSnapshotFileRoundTrip(t *testing.T) {
+	ws := snapshotWorkspace(t)
+	path := t.TempDir() + "/ws.rsnp"
+	if err := ws.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewWorkspace()
+	if err := fresh.RestoreFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Names()) != 4 {
+		t.Fatalf("restored %d objects, want 4", len(fresh.Names()))
+	}
+	if err := fresh.RestoreFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

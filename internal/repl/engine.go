@@ -92,28 +92,39 @@ func ReadOnly(line string) bool {
 }
 
 // TouchesFiles reports whether the command reads or writes host files
-// (load, loadgraph, save). A network front-end serving untrusted clients
-// can use this to refuse host filesystem access while the local shell
-// keeps the verbs.
+// (load, loadgraph, save, snapshot, restore). A network front-end serving
+// untrusted clients can use this to refuse host filesystem access while
+// the local shell keeps the verbs.
 func TouchesFiles(line string) bool {
 	f := strings.Fields(line)
 	if len(f) == 0 {
 		return false
 	}
 	switch f[0] {
-	case "load", "loadgraph", "save":
+	case "load", "loadgraph", "save", "snapshot", "restore":
 		return true
 	}
 	return false
 }
 
+// ReplacesWorkspace reports whether the command swaps out the entire
+// workspace contents rather than touching individual bindings (currently
+// only restore). Hosts that key caches per workspace object should purge
+// everything for this session after such a command: the replaced objects'
+// entries can never hit again (versions are bumped past them) and would
+// otherwise linger as dead weight.
+func ReplacesWorkspace(line string) bool {
+	f := strings.Fields(line)
+	return len(f) > 0 && f[0] == "restore"
+}
+
 // mutatingVerbs is the set of state-changing commands; everything else
-// (ls, show, top, algo, save, help) only reads workspace state.
+// (ls, show, top, algo, save, snapshot, help) only reads workspace state.
 var mutatingVerbs = map[string]bool{
 	"gen": true, "load": true, "loadgraph": true, "select": true,
 	"filter": true, "join": true, "project": true, "groupcount": true,
 	"order": true, "tograph": true, "totable": true, "pagerank": true,
-	"scores2table": true, "rm": true, "mv": true,
+	"scores2table": true, "rm": true, "mv": true, "restore": true,
 }
 
 // HelpText documents the command language for interactive front-ends.
@@ -140,7 +151,9 @@ const HelpText = `Ringo interactive shell — verbs over named objects.
   mv <old> <new>                           rename a workspace object
   ls                                       list workspace objects
   show <tbl> [rows]                        print the first rows of a table
-  save <tbl> <file>                        write a table as TSV
+  save <obj> <file>                        write a table as TSV or a graph as binary
+  snapshot <file>                          save the whole workspace as a binary snapshot
+  restore <file>                           replace the workspace with a snapshot's contents
   help                                     this text
   quit                                     exit`
 
@@ -196,6 +209,10 @@ func (e *Engine) Eval(line string) (*Result, error) {
 		err = e.cmdShow(r, args)
 	case "save":
 		err = e.cmdSave(r, args)
+	case "snapshot":
+		err = e.cmdSnapshot(r, args)
+	case "restore":
+		err = e.cmdRestore(r, args)
 	case "rm":
 		err = e.cmdRm(r, args)
 	case "mv":
@@ -331,7 +348,9 @@ func (e *Engine) cmdLoadGraph(r *Result, args []string) error {
 	if err := need(args, 2, "loadgraph <name> <file>"); err != nil {
 		return err
 	}
-	g, err := graph.LoadEdgeListFile(args[1])
+	// Magic-byte sniffing: files written by "save <graph> <file>" load
+	// through the fast binary path, anything else parses as an edge list.
+	g, err := graph.LoadFileAuto(args[1])
 	if err != nil {
 		return err
 	}
@@ -687,17 +706,49 @@ func (e *Engine) cmdShow(r *Result, args []string) error {
 }
 
 func (e *Engine) cmdSave(r *Result, args []string) error {
-	if err := need(args, 2, "save <tbl> <file>"); err != nil {
+	if err := need(args, 2, "save <obj> <file>"); err != nil {
 		return err
 	}
-	t, err := e.ws.Table(args[0])
-	if err != nil {
+	o, ok := e.ws.Get(args[0])
+	if !ok {
+		return fmt.Errorf("no object named %q", args[0])
+	}
+	switch {
+	case o.Table != nil:
+		if err := o.Table.SaveTSVFile(args[1], true); err != nil {
+			return err
+		}
+		r.Message = fmt.Sprintf("wrote %d rows to %s", o.Table.NumRows(), args[1])
+	case o.Graph != nil:
+		if err := graph.SaveBinaryFile(args[1], o.Graph); err != nil {
+			return err
+		}
+		r.Message = fmt.Sprintf("wrote %d nodes, %d edges to %s (binary)", o.Graph.NumNodes(), o.Graph.NumEdges(), args[1])
+	default:
+		return fmt.Errorf("%q is a %s; save handles tables and directed graphs (use snapshot for everything else)", args[0], o.Kind())
+	}
+	return nil
+}
+
+func (e *Engine) cmdSnapshot(r *Result, args []string) error {
+	if err := need(args, 1, "snapshot <file>"); err != nil {
 		return err
 	}
-	if err := t.SaveTSVFile(args[1], true); err != nil {
+	if err := e.ws.SnapshotFile(args[0]); err != nil {
 		return err
 	}
-	r.Message = fmt.Sprintf("wrote %d rows to %s", t.NumRows(), args[1])
+	r.Message = fmt.Sprintf("snapshot: wrote %d objects to %s", len(e.ws.Names()), args[0])
+	return nil
+}
+
+func (e *Engine) cmdRestore(r *Result, args []string) error {
+	if err := need(args, 1, "restore <file>"); err != nil {
+		return err
+	}
+	if err := e.ws.RestoreFile(args[0]); err != nil {
+		return err
+	}
+	r.Message = fmt.Sprintf("restored %d objects from %s", len(e.ws.Names()), args[0])
 	return nil
 }
 

@@ -4,7 +4,15 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"ringo/internal/graph"
 )
+
+// saveEdgeListForTest writes g as a text edge list, for loadgraph
+// format-sniffing tests.
+func saveEdgeListForTest(path string, g *graph.Directed) error {
+	return graph.SaveEdgeListFile(path, g)
+}
 
 // evalAll runs a script, failing the test on any error, and returns the
 // last result.
@@ -199,10 +207,129 @@ func TestReadOnlyClassification(t *testing.T) {
 		"rm X":              false,
 		"mv A B":            false,
 		"tograph G T s d":   false,
+		"snapshot /tmp/w":   true,
+		"restore /tmp/w":    false,
 	} {
 		if got := ReadOnly(line); got != want {
 			t.Errorf("ReadOnly(%q) = %v, want %v", line, got, want)
 		}
+	}
+}
+
+func TestTouchesFilesClassification(t *testing.T) {
+	for line, want := range map[string]bool{
+		"load T f a:int":    true,
+		"loadgraph G f":     true,
+		"save T /tmp/x.tsv": true,
+		"snapshot /tmp/w":   true,
+		"restore /tmp/w":    true,
+		"ls":                false,
+		"gen rmat E 6 40":   false,
+		"pagerank PR G":     false,
+		"":                  false,
+	} {
+		if got := TouchesFiles(line); got != want {
+			t.Errorf("TouchesFiles(%q) = %v, want %v", line, got, want)
+		}
+	}
+}
+
+// TestEngineSnapshotRestoreVerbs drives the full verb path: build a mixed
+// workspace, snapshot it, wipe, restore, and query the restored objects.
+func TestEngineSnapshotRestoreVerbs(t *testing.T) {
+	e := New(nil)
+	path := t.TempDir() + "/ws.rsnp"
+	evalAll(t, e,
+		"gen rmat E 7 120 3",
+		"tograph G E src dst",
+		"pagerank PR G",
+	)
+	r := evalAll(t, e, "snapshot "+path)
+	if want := "snapshot: wrote 3 objects to " + path; r.Message != want {
+		t.Fatalf("snapshot message = %q, want %q", r.Message, want)
+	}
+	prov := e.Workspace().Provenance("G")
+
+	// Restore into a second engine and keep working there.
+	e2 := New(nil)
+	r = evalAll(t, e2, "restore "+path)
+	if want := "restored 3 objects from " + path; r.Message != want {
+		t.Fatalf("restore message = %q, want %q", r.Message, want)
+	}
+	if got := e2.Workspace().Provenance("G"); got != prov {
+		t.Fatalf("provenance = %q, want %q", got, prov)
+	}
+	r = evalAll(t, e2, "top PR 3")
+	if len(r.Rows) != 3 {
+		t.Fatalf("top over restored scores returned %d rows", len(r.Rows))
+	}
+	r = evalAll(t, e2, "algo G wcc")
+	if r.Message == "" {
+		t.Fatal("algo over restored graph returned no message")
+	}
+
+	if _, err := e2.Eval("restore " + path + ".missing"); err == nil {
+		t.Fatal("restore of missing file did not error")
+	}
+	if _, err := e2.Eval("snapshot"); err == nil {
+		t.Fatal("snapshot without a path did not error")
+	}
+}
+
+// TestEngineSaveGraphLoadGraphRoundTrip covers the save/load asymmetry
+// fix: save writes graphs in the binary format and loadgraph sniffs it.
+func TestEngineSaveGraphLoadGraphRoundTrip(t *testing.T) {
+	e := New(nil)
+	dir := t.TempDir()
+	evalAll(t, e,
+		"gen rmat E 7 120 3",
+		"tograph G E src dst",
+	)
+	r := evalAll(t, e, "save G "+dir+"/g.rngo")
+	if !strings.Contains(r.Message, "(binary)") {
+		t.Fatalf("graph save message = %q", r.Message)
+	}
+	r = evalAll(t, e, "loadgraph G2 "+dir+"/g.rngo")
+	if r.Kind != "graph" {
+		t.Fatalf("loadgraph kind = %q", r.Kind)
+	}
+	g, err := e.Workspace().Graph("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := e.Workspace().Graph("G2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("binary round trip dims (%d,%d) != (%d,%d)",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+
+	// Text edge lists still load through the same verb.
+	evalAll(t, e, "totable T G")
+	if err := func() error {
+		gr, err := e.Workspace().Graph("G")
+		if err != nil {
+			return err
+		}
+		return saveEdgeListForTest(dir+"/g.txt", gr)
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	r = evalAll(t, e, "loadgraph G3 "+dir+"/g.txt")
+	g3, err := e.Workspace().Graph("G3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge-list round trip edges %d != %d", g3.NumEdges(), g.NumEdges())
+	}
+
+	// Saving a scores object is still refused, with a pointer to snapshot.
+	evalAll(t, e, "pagerank PR G")
+	if _, err := e.Eval("save PR " + dir + "/pr"); err == nil {
+		t.Fatal("save of scores object did not error")
 	}
 }
 

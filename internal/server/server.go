@@ -17,9 +17,17 @@
 //	DELETE /sessions/{id}           drop a session
 //	POST   /sessions/{id}/query     {"cmd": "..."} -> repl.Result (synchronous)
 //	POST   /sessions/{id}/jobs      {"cmd": "..."} -> 202 + job id (async)
+//	POST   /sessions/{id}/snapshot  {"path": "..."} write the workspace to a file
+//	POST   /sessions/{id}/restore   {"path": "..."} replace the workspace from a file
 //	GET    /jobs/{id}               job status and result
 //	GET    /jobs                    list jobs (?session=id filters)
 //	GET    /stats                   sessions, jobs, cache hits/misses
+//
+// The snapshot and restore endpoints touch the host filesystem and are
+// therefore gated on Config.AllowFileIO, like the load/save verbs. Restore
+// purges the session's result-cache entries: the restored objects carry
+// fresh fingerprints, and nothing computed against the pre-restore
+// workspace may be served afterwards.
 package server
 
 import (
@@ -137,6 +145,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
 	s.mux.HandleFunc("POST /sessions/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /sessions/{id}/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("POST /sessions/{id}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /sessions/{id}/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -228,6 +238,58 @@ func (s *Server) DropSession(id string) bool {
 	return true
 }
 
+// SnapshotSession writes a session's workspace to path in the binary
+// snapshot format, under the session's shared lock: queries overlap with a
+// snapshot, mutating commands wait for it.
+func (s *Server) SnapshotSession(id, path string) (objects int, err error) {
+	sess, ok := s.session(id)
+	if !ok {
+		return 0, errNoSession(id)
+	}
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	ws := sess.eng.Workspace()
+	if err := ws.SnapshotFile(path); err != nil {
+		return 0, err
+	}
+	return len(ws.Names()), nil
+}
+
+// RestoreSession replaces a session's workspace with the contents of the
+// snapshot at path, holding the session lock exclusively, and purges the
+// session's result-cache entries so nothing computed against pre-restore
+// objects can be served.
+func (s *Server) RestoreSession(id, path string) (objects int, err error) {
+	sess, ok := s.session(id)
+	if !ok {
+		return 0, errNoSession(id)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	ws := sess.eng.Workspace()
+	if err := ws.RestoreFile(path); err != nil {
+		return 0, err
+	}
+	if s.cache != nil && sess.cachePrefix != "" {
+		s.cache.DeletePrefix(sess.cachePrefix)
+	}
+	return len(ws.Names()), nil
+}
+
+// WarmStart creates the named session and restores it from the snapshot at
+// path — the server's warm-restart entry point, used by the -restore flag
+// before the listener comes up.
+func (s *Server) WarmStart(id, path string) error {
+	if _, err := s.CreateSession(id); err != nil {
+		return err
+	}
+	if _, err := s.RestoreSession(id, path); err != nil {
+		s.DropSession(id)
+		return err
+	}
+	return nil
+}
+
 // SessionIDs lists current session ids, sorted.
 func (s *Server) SessionIDs() []string {
 	s.mu.RLock()
@@ -264,7 +326,7 @@ func (s *Server) Eval(sessionID, cmd string) (*repl.Result, error) {
 // client can never take down every analyst's in-memory session.
 func (s *Server) evalOn(sess *session, cmd string) (res *repl.Result, err error) {
 	if !s.allowFiles && repl.TouchesFiles(cmd) {
-		return nil, fmt.Errorf("file access is disabled on this server (load, loadgraph, save)")
+		return nil, fmt.Errorf("file access is disabled on this server (load, loadgraph, save, snapshot, restore)")
 	}
 	readOnly := repl.ReadOnly(cmd)
 	if readOnly {
@@ -282,7 +344,15 @@ func (s *Server) evalOn(sess *session, cmd string) (res *repl.Result, err error)
 	if s.testHookQueryBarrier != nil {
 		s.testHookQueryBarrier(sess.id, readOnly)
 	}
-	return sess.eng.Eval(cmd)
+	res, err = sess.eng.Eval(cmd)
+	// A workspace-replacing command through the verb path invalidates by
+	// version bump alone; purge like the /restore endpoint does, so the
+	// replaced objects' entries stop consuming shared cache budget as
+	// permanently dead keys.
+	if err == nil && s.cache != nil && sess.cachePrefix != "" && repl.ReplacesWorkspace(cmd) {
+		s.cache.DeletePrefix(sess.cachePrefix)
+	}
+	return res, err
 }
 
 type errNoSession string
@@ -439,6 +509,63 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.snapshot())
+}
+
+// readPath parses the {"path": "..."} body of the snapshot/restore
+// endpoints, enforcing the file-IO gate first.
+func (s *Server) readPath(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if !s.allowFiles {
+		writeError(w, http.StatusForbidden, fmt.Errorf("file access is disabled on this server (start with -allow-file-io)"))
+		return "", false
+	}
+	var req struct {
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return "", false
+	}
+	if strings.TrimSpace(req.Path) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty path"))
+		return "", false
+	}
+	return req.Path, true
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	path, ok := s.readPath(w, r)
+	if !ok {
+		return
+	}
+	n, err := s.SnapshotSession(id, path)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := err.(errNoSession); ok {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": id, "path": path, "objects": n})
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	path, ok := s.readPath(w, r)
+	if !ok {
+		return
+	}
+	n, err := s.RestoreSession(id, path)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := err.(errNoSession); ok {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": id, "path": path, "objects": n})
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {

@@ -664,3 +664,160 @@ func TestLRUEviction(t *testing.T) {
 		t.Fatal("update of existing key evicted another entry")
 	}
 }
+
+// TestSnapshotRestoreEndpoints drives the full durability path over HTTP:
+// build a session, snapshot it to disk, restore it into another session,
+// and check the restored objects answer queries.
+func TestSnapshotRestoreEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{AllowFileIO: true})
+	path := t.TempDir() + "/ws.rsnp"
+
+	doJSON(t, "POST", ts.URL+"/sessions", map[string]string{"id": "src"}, nil)
+	query(t, ts.URL, "src", "gen rmat E 7 120 3")
+	query(t, ts.URL, "src", "tograph G E src dst")
+	query(t, ts.URL, "src", "pagerank PR G")
+
+	var snapResp struct {
+		Session string `json:"session"`
+		Path    string `json:"path"`
+		Objects int    `json:"objects"`
+	}
+	code := doJSON(t, "POST", ts.URL+"/sessions/src/snapshot", map[string]string{"path": path}, &snapResp)
+	if code != http.StatusOK || snapResp.Objects != 3 {
+		t.Fatalf("snapshot: status %d resp %+v", code, snapResp)
+	}
+
+	doJSON(t, "POST", ts.URL+"/sessions", map[string]string{"id": "dst"}, nil)
+	var restResp struct {
+		Objects int `json:"objects"`
+	}
+	code = doJSON(t, "POST", ts.URL+"/sessions/dst/restore", map[string]string{"path": path}, &restResp)
+	if code != http.StatusOK || restResp.Objects != 3 {
+		t.Fatalf("restore: status %d resp %+v", code, restResp)
+	}
+	r := query(t, ts.URL, "dst", "top PR 5")
+	if len(r.Rows) != 5 {
+		t.Fatalf("top over restored session: %d rows", len(r.Rows))
+	}
+
+	// Unknown session and bad bodies map to clean statuses.
+	if code := doJSON(t, "POST", ts.URL+"/sessions/nope/snapshot", map[string]string{"path": path}, nil); code != http.StatusNotFound {
+		t.Fatalf("snapshot of unknown session: status %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/sessions/dst/restore", map[string]string{"path": path + ".missing"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("restore of missing file: status %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/sessions/dst/restore", map[string]string{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("restore with empty path: status %d", code)
+	}
+}
+
+func TestSnapshotEndpointsGatedOnFileIO(t *testing.T) {
+	_, ts := newTestServer(t, Config{}) // AllowFileIO off
+	doJSON(t, "POST", ts.URL+"/sessions", map[string]string{"id": "s"}, nil)
+	for _, ep := range []string{"/sessions/s/snapshot", "/sessions/s/restore"} {
+		if code := doJSON(t, "POST", ts.URL+ep, map[string]string{"path": "/tmp/x"}, nil); code != http.StatusForbidden {
+			t.Fatalf("%s without -allow-file-io: status %d", ep, code)
+		}
+	}
+	// The repl-level verbs are refused through /query as well.
+	var out map[string]any
+	if code := doJSON(t, "POST", ts.URL+"/sessions/s/query", map[string]string{"cmd": "snapshot /tmp/x"}, &out); code != http.StatusBadRequest {
+		t.Fatalf("snapshot verb without file IO: status %d (%v)", code, out)
+	}
+}
+
+// TestRestorePurgesSessionCache: results cached against pre-restore
+// fingerprints must not be served after a restore.
+func TestRestorePurgesSessionCache(t *testing.T) {
+	srv, ts := newTestServer(t, Config{AllowFileIO: true})
+	path := t.TempDir() + "/ws.rsnp"
+
+	doJSON(t, "POST", ts.URL+"/sessions", map[string]string{"id": "s"}, nil)
+	query(t, ts.URL, "s", "gen rmat E 7 120 3")
+	query(t, ts.URL, "s", "tograph G E src dst")
+	code := doJSON(t, "POST", ts.URL+"/sessions/s/snapshot", map[string]string{"path": path}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+
+	// Prime the cache, prove a repeat hits it.
+	query(t, ts.URL, "s", "algo G wcc")
+	if r := query(t, ts.URL, "s", "algo G wcc"); !r.Cached {
+		t.Fatal("repeat algo not served from cache")
+	}
+	_, _, sizeBefore := srv.CacheStats()
+	if sizeBefore == 0 {
+		t.Fatal("cache empty after priming")
+	}
+
+	code = doJSON(t, "POST", ts.URL+"/sessions/s/restore", map[string]string{"path": path}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("restore: status %d", code)
+	}
+	if _, _, size := srv.CacheStats(); size != 0 {
+		t.Fatalf("cache holds %d entries after restore, want 0", size)
+	}
+	if r := query(t, ts.URL, "s", "algo G wcc"); r.Cached {
+		t.Fatal("stale cache entry served after restore")
+	}
+}
+
+// TestRestoreVerbPurgesSessionCache: the repl-level restore verb through
+// /query must reclaim the session's cache entries just like the endpoint.
+func TestRestoreVerbPurgesSessionCache(t *testing.T) {
+	srv, ts := newTestServer(t, Config{AllowFileIO: true})
+	path := t.TempDir() + "/ws.rsnp"
+
+	doJSON(t, "POST", ts.URL+"/sessions", map[string]string{"id": "s"}, nil)
+	query(t, ts.URL, "s", "gen rmat E 7 120 3")
+	query(t, ts.URL, "s", "tograph G E src dst")
+	query(t, ts.URL, "s", "snapshot "+path)
+	query(t, ts.URL, "s", "algo G wcc")
+	if _, _, size := srv.CacheStats(); size == 0 {
+		t.Fatal("cache empty after priming")
+	}
+	query(t, ts.URL, "s", "restore "+path)
+	if _, _, size := srv.CacheStats(); size != 0 {
+		t.Fatalf("cache holds %d entries after restore verb, want 0", size)
+	}
+}
+
+// TestWarmStart exercises the -restore flag's code path: a fresh server
+// restores a snapshot into a named session before serving.
+func TestWarmStart(t *testing.T) {
+	path := t.TempDir() + "/ws.rsnp"
+	{
+		_, ts := newTestServer(t, Config{AllowFileIO: true})
+		doJSON(t, "POST", ts.URL+"/sessions", map[string]string{"id": "s"}, nil)
+		query(t, ts.URL, "s", "gen rmat E 7 120 3")
+		query(t, ts.URL, "s", "tograph G E src dst")
+		query(t, ts.URL, "s", "pagerank PR G")
+		if code := doJSON(t, "POST", ts.URL+"/sessions/s/snapshot", map[string]string{"path": path}, nil); code != http.StatusOK {
+			t.Fatalf("snapshot: status %d", code)
+		}
+	}
+
+	srv, ts := newTestServer(t, Config{}) // file IO off: warm start still works
+	if err := srv.WarmStart("main", path); err != nil {
+		t.Fatal(err)
+	}
+	r := query(t, ts.URL, "main", "top PR 5")
+	if len(r.Rows) != 5 {
+		t.Fatalf("top over warm-started session: %d rows", len(r.Rows))
+	}
+	r = query(t, ts.URL, "main", "ls")
+	if len(r.Rows) != 3 {
+		t.Fatalf("ls over warm-started session: %d objects", len(r.Rows))
+	}
+
+	// A bad snapshot path must fail and leave no half-restored session.
+	if err := srv.WarmStart("other", path+".missing"); err == nil {
+		t.Fatal("warm start from missing file succeeded")
+	}
+	for _, id := range srv.SessionIDs() {
+		if id == "other" {
+			t.Fatal("failed warm start left session behind")
+		}
+	}
+}

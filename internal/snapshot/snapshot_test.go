@@ -1,0 +1,232 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ringo/internal/graph"
+	"ringo/internal/table"
+)
+
+func sampleObjects(t *testing.T) []Object {
+	t.Helper()
+	tbl, err := table.New(table.Schema{
+		{Name: "User", Type: table.String},
+		{Name: "Score", Type: table.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []struct {
+		u string
+		s int64
+	}{{"alice", 3}, {"tab\tin\tvalue", -1}, {"", 0}} {
+		if err := tbl.AppendRow(row.u, row.s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := graph.NewDirected()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	u := graph.NewUndirected()
+	u.AddEdge(10, 20)
+	u.AddEdge(20, 30)
+	return []Object{
+		{Name: "T", Provenance: "load T posts.tsv", Version: 1, Table: tbl},
+		{Name: "G", Provenance: "tograph G T src dst", Version: 2, Graph: g},
+		{Name: "U", Provenance: "", Version: 3, UGraph: u},
+		{Name: "PR", Provenance: "pagerank PR G", Version: 7, Scores: map[int64]float64{1: 0.5, 2: 0.25, 3: 0.25}},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	objs := sampleObjects(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, 9, objs); err != nil {
+		t.Fatal(err)
+	}
+	clock, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 9 {
+		t.Fatalf("clock = %d, want 9", clock)
+	}
+	if len(got) != len(objs) {
+		t.Fatalf("object count = %d, want %d", len(got), len(objs))
+	}
+	for i, want := range objs {
+		o := got[i]
+		if o.Name != want.Name || o.Provenance != want.Provenance || o.Version != want.Version {
+			t.Fatalf("object %d header = %+v", i, o)
+		}
+	}
+	tbl := got[0].Table
+	if tbl == nil || tbl.NumRows() != 3 {
+		t.Fatalf("table not restored: %+v", got[0])
+	}
+	if v := tbl.Value(0, 1); v != "tab\tin\tvalue" {
+		t.Fatalf("string cell = %q", v)
+	}
+	g := got[1].Graph
+	if g == nil || g.NumEdges() != 3 || !g.HasEdge(3, 1) {
+		t.Fatalf("graph not restored: %+v", got[1])
+	}
+	u := got[2].UGraph
+	if u == nil || u.NumEdges() != 2 || !u.HasEdge(30, 20) {
+		t.Fatalf("ugraph not restored: %+v", got[2])
+	}
+	sc := got[3].Scores
+	if sc == nil || len(sc) != 3 || sc[1] != 0.5 {
+		t.Fatalf("scores not restored: %+v", got[3])
+	}
+}
+
+func TestSnapshotEmptyWorkspace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	clock, objs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 0 || len(objs) != 0 {
+		t.Fatalf("empty round trip = clock %d, %d objects", clock, len(objs))
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	objs := sampleObjects(t)
+	var a, b bytes.Buffer
+	if err := Write(&a, 9, objs); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, 9, objs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot bytes are not deterministic")
+	}
+}
+
+func TestSnapshotRejectsValuelessObject(t *testing.T) {
+	var buf bytes.Buffer
+	err := Write(&buf, 1, []Object{{Name: "empty"}})
+	if err == nil || !strings.Contains(err.Error(), `"empty"`) {
+		t.Fatalf("valueless object error = %v", err)
+	}
+}
+
+// TestSnapshotCorruptionNamesObject flips one byte inside each object's
+// payload in turn and checks the decode error names that object.
+func TestSnapshotCorruptionNamesObject(t *testing.T) {
+	objs := sampleObjects(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, 9, objs); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Locate each payload by re-encoding individually: frame layout is
+	// header + name + prov + 8 (version) + 1 (kind) + 8 (paylen) + 8
+	// (checksum) + payload.
+	off := len(Magic) + 4 + 8 + 4
+	for _, o := range objs {
+		payload, err := encodePayload(&o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloadStart := off + 4 + len(o.Name) + 4 + len(o.Provenance) + 8 + 1 + 8 + 8
+		mangled := append([]byte(nil), good...)
+		mangled[payloadStart+len(payload)/2] ^= 0x40
+		_, _, err = Read(bytes.NewReader(mangled))
+		if err == nil {
+			t.Fatalf("corrupt payload of %q accepted", o.Name)
+		}
+		if !strings.Contains(err.Error(), `"`+o.Name+`"`) {
+			t.Fatalf("error %q does not name object %q", err, o.Name)
+		}
+		off = payloadStart + len(payload)
+	}
+}
+
+func TestSnapshotRejectsStructuralCorruption(t *testing.T) {
+	objs := sampleObjects(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, 9, objs); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mangle func(b []byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}},
+		{"bad version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 0x63
+			return c
+		}},
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"truncated frame", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"absurd object count", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			for i := 16; i < 20; i++ {
+				c[i] = 0xff
+			}
+			return c
+		}},
+		{"lying payload length", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			// First frame's paylen lives after name "T" and prov.
+			off := 20 + 4 + 1 + 4 + len("load T posts.tsv") + 8 + 1
+			c[off+4] = 0xff // claim a payload in the terabytes
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Read(bytes.NewReader(tc.mangle(good))); err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+		})
+	}
+}
+
+// TestDecodeScoresOverflowingCount: a crafted count near 2^60 makes 16*n
+// wrap modulo 2^64; the length check must reject it instead of letting the
+// decode loop index out of range.
+func TestDecodeScoresOverflowingCount(t *testing.T) {
+	payload := make([]byte, 8+16) // room for exactly one entry
+	n := uint64(1)<<60 + 1        // 16*n mod 2^64 == 16 == len(payload)-8
+	for i := 0; i < 8; i++ {
+		payload[i] = byte(n >> (8 * i))
+	}
+	if _, err := decodeScores(payload); err == nil {
+		t.Fatal("overflowing score count accepted")
+	}
+}
+
+func TestSnapshotRejectsDuplicateNames(t *testing.T) {
+	objs := []Object{
+		{Name: "A", Version: 1, Scores: map[int64]float64{1: 1}},
+		{Name: "A", Version: 2, Scores: map[int64]float64{2: 2}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, 2, objs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate names error = %v", err)
+	}
+}

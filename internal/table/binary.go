@@ -1,0 +1,257 @@
+package table
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Columnar binary table serialization, the table-side counterpart of the
+// binary graph format: whole int64/float64 columns are written as
+// contiguous little-endian blocks and string columns as pool ids next to a
+// single shared string pool, so loading is a handful of bulk reads instead
+// of a per-cell text parse. This is the representation workspace snapshots
+// embed (see internal/snapshot); unlike TSV it round-trips every string
+// value byte-for-byte, including tabs, newlines and empty strings, and it
+// preserves persistent row identifiers.
+//
+// Layout (little endian): magic "RTBL", format version u32, column count
+// u32, then per column: name (u32 length + bytes), type u8; row count u64,
+// next row id i64, row ids i64×rows; pool: distinct string count u32, then
+// per string u32 length + bytes; finally per column in schema order the
+// column block (i64×rows for Int and String columns, f64×rows for Float).
+
+const (
+	tableBinaryMagic   = "RTBL"
+	tableBinaryVersion = 1
+
+	// maxBinaryStrLen bounds a single column name or pool string, and
+	// maxBinaryPrealloc bounds trust in decoded element counts: slices
+	// start at most this large and grow by append, so a corrupt count
+	// fails with a read error instead of an absurd allocation.
+	maxBinaryStrLen   = 1 << 24
+	maxBinaryPrealloc = 1 << 20
+)
+
+// EncodeBinary writes t in the columnar binary table format.
+func (t *Table) EncodeBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch [8]byte
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	writeStr := func(s string) error {
+		if err := writeU32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if _, err := bw.WriteString(tableBinaryMagic); err != nil {
+		return err
+	}
+	if err := writeU32(tableBinaryVersion); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(t.cols))); err != nil {
+		return err
+	}
+	for _, c := range t.cols {
+		if err := writeStr(c.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(c.Type)); err != nil {
+			return err
+		}
+	}
+	if err := writeU64(uint64(t.NumRows())); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(t.nextID)); err != nil {
+		return err
+	}
+	for _, id := range t.rowIDs {
+		if err := writeU64(uint64(id)); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(uint32(t.pool.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < t.pool.Len(); i++ {
+		if err := writeStr(t.pool.Get(int32(i))); err != nil {
+			return err
+		}
+	}
+	for i, c := range t.cols {
+		if c.Type == Float {
+			for _, v := range t.floats[i] {
+				if err := writeU64(math.Float64bits(v)); err != nil {
+					return err
+				}
+			}
+		} else {
+			for _, v := range t.ints[i] {
+				if err := writeU64(uint64(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeBinary reads a table written by EncodeBinary. All counts are
+// validated against what the stream actually delivers, string-column cells
+// are checked against the pool size, and allocations are bounded, so a
+// truncated or corrupt stream returns an error instead of panicking.
+func DecodeBinary(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+	readStr := func(what string) (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", fmt.Errorf("table: reading %s length: %w", what, err)
+		}
+		if n > maxBinaryStrLen {
+			return "", fmt.Errorf("table: %s length %d exceeds limit", what, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", fmt.Errorf("table: reading %s: %w", what, err)
+		}
+		return string(buf), nil
+	}
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("table: reading magic: %w", err)
+	}
+	if string(magic) != tableBinaryMagic {
+		return nil, fmt.Errorf("table: not a Ringo binary table (magic %q)", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading version: %w", err)
+	}
+	if version != tableBinaryVersion {
+		return nil, fmt.Errorf("table: unsupported binary table version %d", version)
+	}
+	nCols, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading column count: %w", err)
+	}
+	if nCols == 0 || nCols > maxBinaryPrealloc {
+		return nil, fmt.Errorf("table: implausible column count %d", nCols)
+	}
+	schema := make(Schema, 0, nCols)
+	for i := uint32(0); i < nCols; i++ {
+		name, err := readStr("column name")
+		if err != nil {
+			return nil, err
+		}
+		typ, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("table: reading type of column %q: %w", name, err)
+		}
+		if Type(typ) != Int && Type(typ) != Float && Type(typ) != String {
+			return nil, fmt.Errorf("table: column %q has invalid type %d", name, typ)
+		}
+		schema = append(schema, Column{Name: name, Type: Type(typ)})
+	}
+	nRows64, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading row count: %w", err)
+	}
+	if nRows64 > math.MaxInt32 {
+		return nil, fmt.Errorf("table: implausible row count %d", nRows64)
+	}
+	nRows := int(nRows64)
+	prealloc := nRows
+	if prealloc > maxBinaryPrealloc {
+		prealloc = maxBinaryPrealloc
+	}
+	t, err := NewWithCapacity(schema, prealloc)
+	if err != nil {
+		return nil, err
+	}
+	nextID, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading next row id: %w", err)
+	}
+	t.nextID = int64(nextID)
+	maxRowID := int64(-1)
+	seenIDs := make(map[int64]bool, prealloc)
+	for r := 0; r < nRows; r++ {
+		id, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("table: reading row id %d: %w", r, err)
+		}
+		if seenIDs[int64(id)] {
+			return nil, fmt.Errorf("table: row id %d appears twice", int64(id))
+		}
+		seenIDs[int64(id)] = true
+		t.rowIDs = append(t.rowIDs, int64(id))
+		if int64(id) > maxRowID {
+			maxRowID = int64(id)
+		}
+	}
+	// Duplicate ids above, or a nextID at or below an existing id here,
+	// would break the persistent row-identity guarantee: future AppendRow
+	// calls could re-issue ids that rows already hold.
+	if t.nextID <= maxRowID {
+		return nil, fmt.Errorf("table: next row id %d not above max row id %d", t.nextID, maxRowID)
+	}
+	nStrs, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading pool size: %w", err)
+	}
+	for i := uint32(0); i < nStrs; i++ {
+		s, err := readStr("pool string")
+		if err != nil {
+			return nil, err
+		}
+		if id := t.pool.Intern(s); id != int32(i) {
+			return nil, fmt.Errorf("table: pool string %d duplicates string %d", i, id)
+		}
+	}
+	for i, c := range schema {
+		for r := 0; r < nRows; r++ {
+			v, err := readU64()
+			if err != nil {
+				return nil, fmt.Errorf("table: reading column %q row %d: %w", c.Name, r, err)
+			}
+			if c.Type == Float {
+				t.floats[i] = append(t.floats[i], math.Float64frombits(v))
+				continue
+			}
+			cell := int64(v)
+			if c.Type == String && (cell < 0 || cell >= int64(nStrs)) {
+				return nil, fmt.Errorf("table: column %q row %d: string id %d outside pool of %d", c.Name, r, cell, nStrs)
+			}
+			t.ints[i] = append(t.ints[i], cell)
+		}
+	}
+	return t, nil
+}

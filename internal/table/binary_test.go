@@ -1,0 +1,184 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func binarySampleTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := New(Schema{
+		{Name: "User", Type: String},
+		{Name: "Score", Type: Int},
+		{Name: "Rank", Type: Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		u string
+		s int64
+		r float64
+	}{
+		{"alice", 10, 0.5},
+		{"bob\twith\ttabs", -3, 1.25},
+		{"", 0, 0},
+		{"line\nbreak", 42, -7.5},
+		{"alice", 11, 2.5}, // repeated string shares a pool id
+	}
+	for _, row := range rows {
+		if err := tbl.AppendRow(row.u, row.s, row.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestTableBinaryRoundTrip(t *testing.T) {
+	tbl := binarySampleTable(t)
+	// Filter so surviving row ids are non-contiguous, exercising id
+	// preservation.
+	sel, err := tbl.Select("Score", GE, int64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sel.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != sel.NumRows() || got.NumCols() != sel.NumCols() {
+		t.Fatalf("shape = %d×%d, want %d×%d", got.NumRows(), got.NumCols(), sel.NumRows(), sel.NumCols())
+	}
+	for i, c := range sel.Schema() {
+		if got.Schema()[i] != c {
+			t.Fatalf("schema[%d] = %+v, want %+v", i, got.Schema()[i], c)
+		}
+	}
+	for r := 0; r < sel.NumRows(); r++ {
+		if got.RowIDs()[r] != sel.RowIDs()[r] {
+			t.Fatalf("row id %d = %d, want %d", r, got.RowIDs()[r], sel.RowIDs()[r])
+		}
+		for c := 0; c < sel.NumCols(); c++ {
+			if got.Value(c, r) != sel.Value(c, r) {
+				t.Fatalf("cell (%d,%d) = %v, want %v", c, r, got.Value(c, r), sel.Value(c, r))
+			}
+		}
+	}
+	// New rows must get fresh ids: nextID survives the round trip.
+	if err := got.AppendRow("new", int64(1), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	newID := got.RowIDs()[got.NumRows()-1]
+	for _, id := range sel.RowIDs() {
+		if id == newID {
+			t.Fatalf("appended row reused id %d", newID)
+		}
+	}
+}
+
+func TestTableBinaryRejectsCorruptInput(t *testing.T) {
+	tbl := binarySampleTable(t)
+	var buf bytes.Buffer
+	if err := tbl.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		mangle  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "magic"},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}, "magic"},
+		{"bad version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 99
+			return c
+		}, "version"},
+		{"truncated header", func(b []byte) []byte { return b[:6] }, ""},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)/2] }, ""},
+		{"absurd column count", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[8], c[9], c[10], c[11] = 0xff, 0xff, 0xff, 0xff
+			return c
+		}, "column count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeBinary(bytes.NewReader(tc.mangle(good)))
+			if err == nil {
+				t.Fatal("decode of corrupt input succeeded")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestTableBinaryRejectsStaleNextID: a mangled nextID at or below an
+// existing row id would let AppendRow re-issue ids rows already hold.
+func TestTableBinaryRejectsStaleNextID(t *testing.T) {
+	tbl, err := New(Schema{{Name: "S", Type: String}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"a", "b", "c"} {
+		if err := tbl.AppendRow(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// nextID sits after magic(4) version(4) ncols(4) col{len(4)+"S"(1)+
+	// type(1)} nrows(8): bytes [26,34). Zero it.
+	b := buf.Bytes()
+	for i := 26; i < 34; i++ {
+		b[i] = 0
+	}
+	_, err = DecodeBinary(bytes.NewReader(b))
+	if err == nil || !strings.Contains(err.Error(), "next row id") {
+		t.Fatalf("stale nextID error = %v", err)
+	}
+
+	// Duplicate row ids break row-identity tracking just as badly; copy
+	// row 0's id (bytes [34,42)) over row 1's (bytes [42,50)).
+	b = append([]byte(nil), buf.Bytes()...)
+	copy(b[42:50], b[34:42])
+	_, err = DecodeBinary(bytes.NewReader(b))
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate row id error = %v", err)
+	}
+}
+
+func TestTableBinaryRejectsOutOfRangePoolID(t *testing.T) {
+	tbl, err := New(Schema{{Name: "S", Type: String}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendRow("only"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The single string cell is the last 8 bytes; point it outside the pool.
+	b := buf.Bytes()
+	b[len(b)-8] = 7
+	if _, err := DecodeBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("decode accepted string id outside pool")
+	}
+}

@@ -13,6 +13,8 @@ import (
 // schema. If header is true the first line is skipped (column names come
 // from the schema, as in ringo.LoadTableTSV(schema, file)). Lines beginning
 // with '#' and blank lines are ignored, matching SNAP's edge-list format.
+// String fields are unescaped (see unescapeTSV), reversing SaveTSV's
+// escaping of tabs, newlines and backslashes.
 func LoadTSV(r io.Reader, schema Schema, header bool) (*Table, error) {
 	t, err := New(schema)
 	if err != nil {
@@ -73,7 +75,7 @@ func (t *Table) appendTSVLine(line string, lineNo int) error {
 			}
 			t.floats[i] = append(t.floats[i], f)
 		default:
-			t.ints[i] = append(t.ints[i], int64(t.pool.Intern(field)))
+			t.ints[i] = append(t.ints[i], int64(t.pool.Intern(unescapeTSV(field))))
 		}
 	}
 	t.rowIDs = append(t.rowIDs, t.nextID)
@@ -91,8 +93,79 @@ func LoadTSVFile(path string, schema Schema, header bool) (*Table, error) {
 	return LoadTSV(f, schema, header)
 }
 
+// escapeTSV renders a string cell so it survives the line/field structure
+// of TSV: backslash, tab, newline and carriage return become the two-byte
+// sequences \\, \t, \n, \r (the Postgres COPY convention). Values without
+// those bytes are returned unchanged, no allocation.
+func escapeTSV(s string) string {
+	if !strings.ContainsAny(s, "\\\t\n\r") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// unescapeTSV reverses escapeTSV. Unrecognized escapes keep the escaped
+// byte literally, and a lone trailing backslash survives — but the four
+// recognized sequences (\t \n \r \\) ARE reinterpreted, so a pre-escaping
+// file whose string cells contain those literal two-byte sequences decodes
+// differently than it used to (e.g. "C:\temp" loads with a tab). That is
+// the inherent cost of adopting an escape syntax; datasets that must keep
+// backslash sequences byte-exact should use the binary formats.
+func unescapeTSV(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i == len(s)-1 {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
 // SaveTSV writes the table as tab-separated values. If header is true the
 // first line lists the column names.
+//
+// String cells are escaped (see escapeTSV), so values containing tabs,
+// newlines or backslashes round-trip through LoadTSV, as do empty cells in
+// multi-column tables. Two ambiguities remain inherent to the line format
+// and are NOT escaped: a single-string-column row whose value is empty
+// renders as a blank line, and a first cell starting with '#' renders as a
+// comment line — LoadTSV skips both. The binary formats (EncodeBinary,
+// workspace snapshots) have no such ambiguity and round-trip every value
+// byte-for-byte.
 func (t *Table) SaveTSV(w io.Writer, header bool) error {
 	bw := bufio.NewWriter(w)
 	if header {
@@ -123,7 +196,7 @@ func (t *Table) SaveTSV(w io.Writer, header bool) error {
 			case Float:
 				buf = strconv.AppendFloat(buf, t.floats[i][row], 'g', -1, 64)
 			default:
-				buf = append(buf, t.pool.Get(int32(t.ints[i][row]))...)
+				buf = append(buf, escapeTSV(t.pool.Get(int32(t.ints[i][row])))...)
 			}
 		}
 		buf = append(buf, '\n')

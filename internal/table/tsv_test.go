@@ -1,0 +1,121 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTSVStringRoundTrip locks down the escaping behavior documented on
+// SaveTSV: tabs, newlines, carriage returns, backslashes and empty strings
+// inside multi-column rows all survive a save/load cycle.
+func TestTSVStringRoundTrip(t *testing.T) {
+	schema := Schema{
+		{Name: "Name", Type: String},
+		{Name: "Note", Type: String},
+		{Name: "N", Type: Int},
+	}
+	tbl, err := New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		name, note string
+		n          int64
+	}{
+		{"plain", "nothing special", 1},
+		{"tab\tinside", "two\ttabs\there", 2},
+		{"new\nline", "trailing newline\n", 3},
+		{"carriage\rreturn", "\rleading", 4},
+		{"back\\slash", "\\t is not a tab", 5},
+		{"", "empty first cell", 6},
+		{"empty note next", "", 7},
+		{"mixed \\ \t \n", "\t\n\\", 8},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r.name, r.note, r.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tbl.SaveTSV(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	// The wire form must be one header plus one line per row: no raw
+	// newline may leak out of a cell.
+	if gotLines := strings.Count(buf.String(), "\n"); gotLines != len(rows)+1 {
+		t.Fatalf("wire form has %d lines, want %d:\n%s", gotLines, len(rows)+1, buf.String())
+	}
+
+	back, err := LoadTSV(&buf, schema, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != len(rows) {
+		t.Fatalf("round trip rows = %d, want %d", back.NumRows(), len(rows))
+	}
+	for i, r := range rows {
+		if got := back.Value(0, i); got != r.name {
+			t.Errorf("row %d Name = %q, want %q", i, got, r.name)
+		}
+		if got := back.Value(1, i); got != r.note {
+			t.Errorf("row %d Note = %q, want %q", i, got, r.note)
+		}
+		if got := back.Value(2, i); got != r.n {
+			t.Errorf("row %d N = %v, want %d", i, got, r.n)
+		}
+	}
+}
+
+// TestTSVLegacyUnescapedInput: for files written before escaping existed
+// (or by other tools), bytes that do not form a recognized escape load
+// unchanged, including a trailing backslash. (Recognized sequences like a
+// literal "\t" ARE reinterpreted — the documented cost of the syntax.)
+func TestTSVLegacyUnescapedInput(t *testing.T) {
+	in := "a\tplain value\nb\tpath\\\n"
+	tbl, err := LoadTSV(strings.NewReader(in), Schema{
+		{Name: "K", Type: String},
+		{Name: "V", Type: String},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Value(1, 0); got != "plain value" {
+		t.Fatalf("plain value = %q", got)
+	}
+	if got := tbl.Value(1, 1); got != "path\\" {
+		t.Fatalf("trailing backslash = %q", got)
+	}
+	// An unknown escape keeps the escaped byte.
+	if unescapeTSV(`\x`) != "x" {
+		t.Fatalf("unknown escape = %q", unescapeTSV(`\x`))
+	}
+}
+
+// TestTSVDocumentedAmbiguities pins the two cases SaveTSV documents as
+// lossy, so a future fix (or regression) shows up here.
+func TestTSVDocumentedAmbiguities(t *testing.T) {
+	schema := Schema{{Name: "S", Type: String}}
+	tbl, err := New(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"", "#comment-like", "kept"} {
+		if err := tbl.AppendRow(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.SaveTSV(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTSV(&buf, schema, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blank line and the '#' line are skipped on load, by design.
+	if back.NumRows() != 1 || back.Value(0, 0) != "kept" {
+		t.Fatalf("ambiguous rows = %d (%v); the documented behavior changed", back.NumRows(), back.Value(0, 0))
+	}
+}

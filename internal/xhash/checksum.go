@@ -1,0 +1,52 @@
+package xhash
+
+// Checksum support for the snapshot subsystem: a streaming 64-bit FNV-1a
+// hash finished with the same splitmix64 avalanche this package uses for
+// key mixing. FNV-1a alone propagates trailing-zero blocks weakly; the
+// finalizer scrambles the state so that single-bit corruption anywhere in
+// an object payload flips roughly half the checksum bits. This is an
+// integrity check against truncation and bit rot, not a cryptographic MAC.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Digest is a streaming 64-bit checksum. The zero value is NOT ready to
+// use; construct with NewDigest. Digest implements io.Writer so encoders
+// can tee payload bytes through it.
+type Digest struct {
+	h uint64
+	n uint64
+}
+
+// NewDigest returns a fresh checksum accumulator.
+func NewDigest() *Digest {
+	return &Digest{h: fnvOffset}
+}
+
+// Write absorbs p into the checksum. It never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	h := d.h
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	d.h = h
+	d.n += uint64(len(p))
+	return len(p), nil
+}
+
+// Sum64 returns the checksum of the bytes written so far. The byte count is
+// folded in before finalizing, so payloads that differ only by a run of
+// trailing zero bytes hash differently.
+func (d *Digest) Sum64() uint64 {
+	return uint64(mix(int64(d.h ^ d.n)))
+}
+
+// Checksum64 returns the checksum of data in one call.
+func Checksum64(data []byte) uint64 {
+	d := NewDigest()
+	_, _ = d.Write(data)
+	return d.Sum64()
+}

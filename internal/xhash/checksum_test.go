@@ -1,0 +1,51 @@
+package xhash
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChecksumDeterministicAndSensitive(t *testing.T) {
+	data := []byte("ringo snapshot payload")
+	c1 := Checksum64(data)
+	c2 := Checksum64(data)
+	if c1 != c2 {
+		t.Fatalf("checksum not deterministic: %x vs %x", c1, c2)
+	}
+	for i := range data {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 1
+		if Checksum64(mutated) == c1 {
+			t.Fatalf("bit flip at byte %d not detected", i)
+		}
+	}
+}
+
+func TestChecksumLengthSensitive(t *testing.T) {
+	// Payloads differing only in trailing zero bytes must hash apart.
+	a := bytes.Repeat([]byte{0}, 8)
+	b := bytes.Repeat([]byte{0}, 16)
+	if Checksum64(a) == Checksum64(b) {
+		t.Fatal("trailing zeros not distinguished")
+	}
+	if Checksum64(nil) == Checksum64([]byte{0}) {
+		t.Fatal("empty vs single zero byte not distinguished")
+	}
+}
+
+func TestChecksumStreamingMatchesOneShot(t *testing.T) {
+	data := []byte("split across several writes")
+	d := NewDigest()
+	for i := 0; i < len(data); i += 5 {
+		end := i + 5
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := d.Write(data[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Sum64() != Checksum64(data) {
+		t.Fatalf("streaming %x != one-shot %x", d.Sum64(), Checksum64(data))
+	}
+}

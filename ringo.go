@@ -217,6 +217,32 @@ func SaveGraphBinary(path string, g *Graph) error { return graph.SaveBinaryFile(
 // LoadGraphBinary reads a graph written by SaveGraphBinary.
 func LoadGraphBinary(path string) (*Graph, error) { return graph.LoadBinaryFile(path) }
 
+// LoadGraphAuto loads a directed graph from either on-disk format, sniffing
+// the binary magic bytes and falling back to edge-list text.
+func LoadGraphAuto(path string) (*Graph, error) { return graph.LoadFileAuto(path) }
+
+// SaveUGraphBinary writes an undirected graph in the binary format's
+// undirected variant.
+func SaveUGraphBinary(w io.Writer, g *UGraph) error { return graph.SaveBinaryUndirected(w, g) }
+
+// LoadUGraphBinary reads a graph written by SaveUGraphBinary.
+func LoadUGraphBinary(r io.Reader) (*UGraph, error) { return graph.LoadBinaryUndirected(r) }
+
+// SnapshotWorkspace serializes an entire workspace — tables, graphs, score
+// maps, with each binding's provenance, version and fingerprint — to w in
+// the binary snapshot format (checksummed per object, encoded in parallel).
+func SnapshotWorkspace(ws *Workspace, w io.Writer) error { return ws.Snapshot(w) }
+
+// RestoreWorkspace reads a snapshot written by SnapshotWorkspace into a
+// fresh workspace, reproducing provenance, versions and fingerprints.
+func RestoreWorkspace(r io.Reader) (*Workspace, error) {
+	ws := core.NewWorkspace()
+	if err := ws.Restore(r); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
 // TableFromMap builds a (key, score) table from an algorithm result,
 // descending by score — the paper's ringo.TableFromHashMap(PR, 'User',
 // 'Scr').

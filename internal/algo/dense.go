@@ -12,6 +12,8 @@
 package algo
 
 import (
+	"slices"
+
 	"ringo/internal/graph"
 	"ringo/internal/par"
 )
@@ -99,8 +101,11 @@ func translate(ids []int64, idx map[int64]int32) []int32 {
 }
 
 func sortInt32(a []int32) {
-	// Insertion sort for short vectors, simple quicksort otherwise;
-	// adjacency vectors are overwhelmingly short in power-law graphs.
+	// Insertion sort for short vectors — adjacency vectors are
+	// overwhelmingly short in power-law graphs — and slices.Sort (pdqsort:
+	// O(n log n) worst case, bounded recursion) beyond, instead of the old
+	// hand-rolled quicksort whose unbalanced pivots could recurse without
+	// bound and hit O(n²) on adversarial adjacency.
 	if len(a) < 24 {
 		for i := 1; i < len(a); i++ {
 			v := a[i]
@@ -113,23 +118,7 @@ func sortInt32(a []int32) {
 		}
 		return
 	}
-	pivot := a[len(a)/2]
-	lo, hi := 0, len(a)-1
-	for lo <= hi {
-		for a[lo] < pivot {
-			lo++
-		}
-		for a[hi] > pivot {
-			hi--
-		}
-		if lo <= hi {
-			a[lo], a[hi] = a[hi], a[lo]
-			lo++
-			hi--
-		}
-	}
-	sortInt32(a[:hi+1])
-	sortInt32(a[lo:])
+	slices.Sort(a)
 }
 
 // scoresToMap converts a dense score vector to the id-keyed map Ringo's

@@ -1,0 +1,80 @@
+package algo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// powerLawVectors builds adjacency-shaped int32 vectors whose lengths follow
+// the skew of a social graph: overwhelmingly short, with a heavy tail of
+// hubs. The values are shuffled dense indices, the exact input translate()
+// feeds sortInt32.
+func powerLawVectors(n int, seed int64) [][]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]int32, n)
+	for i := range vecs {
+		// Pareto-ish length: most vectors < 24 (insertion-sort path), the
+		// tail reaching thousands (pdqsort path).
+		ln := int(3.0 / (rng.Float64() + 0.001))
+		if ln > 8192 {
+			ln = 8192
+		}
+		v := make([]int32, ln)
+		for j := range v {
+			v[j] = int32(rng.Intn(n))
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// BenchmarkSortInt32PowerLaw guards the dense-view adjacency sort: the
+// slices.Sort replacement for the old hand-rolled quicksort must not regress
+// on the power-law length mix that dominates real graphs.
+func BenchmarkSortInt32PowerLaw(b *testing.B) {
+	vecs := powerLawVectors(4096, 7)
+	scratch := make([]int32, 8192)
+	var total int64
+	for _, v := range vecs {
+		total += int64(len(v))
+	}
+	b.SetBytes(total * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vecs {
+			s := scratch[:len(v)]
+			copy(s, v)
+			sortInt32(s)
+		}
+	}
+}
+
+func TestSortInt32(t *testing.T) {
+	for _, v := range powerLawVectors(512, 11) {
+		sortInt32(v)
+		for i := 1; i < len(v); i++ {
+			if v[i-1] > v[i] {
+				t.Fatalf("sortInt32 left index %d out of order", i)
+			}
+		}
+	}
+	// The old quicksort's adversarial cases: already sorted, reversed, and
+	// all-equal vectors at pdqsort lengths.
+	n := 1 << 14
+	asc := make([]int32, n)
+	desc := make([]int32, n)
+	flat := make([]int32, n)
+	for i := 0; i < n; i++ {
+		asc[i] = int32(i)
+		desc[i] = int32(n - i)
+		flat[i] = 42
+	}
+	for _, v := range [][]int32{asc, desc, flat} {
+		sortInt32(v)
+		for i := 1; i < len(v); i++ {
+			if v[i-1] > v[i] {
+				t.Fatalf("adversarial vector out of order at %d", i)
+			}
+		}
+	}
+}

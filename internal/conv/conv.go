@@ -26,33 +26,15 @@ import (
 // sort-first algorithm. srcCol and dstCol name the edge source and
 // destination columns; they must be Int or String columns (string cells
 // become nodes identified by their pool ids). Duplicate rows collapse to a
-// single edge.
+// single edge. The heavy lifting — parallel pair sort, dedup, flat-arena
+// adjacency materialization — lives in graph.BuildDirectedCols, shared with
+// the parallel text-ingest pipeline.
 func ToDirected(t *table.Table, srcCol, dstCol string) (*graph.Directed, error) {
 	srcs, dsts, err := edgeColumns(t, srcCol, dstCol)
 	if err != nil {
 		return nil, err
 	}
-	// Copies of both columns, in both orientations.
-	k1 := append([]int64(nil), srcs...)
-	v1 := append([]int64(nil), dsts...)
-	k2 := append([]int64(nil), dsts...)
-	v2 := append([]int64(nil), srcs...)
-	par.Do(
-		func() { par.SortPairs(k1, v1) },
-		func() { par.SortPairs(k2, v2) },
-	)
-
-	ids := mergeUniqueSorted(k1, k2)
-	outRuns := runOffsets(ids, k1)
-	inRuns := runOffsets(ids, k2)
-
-	out := make([][]int64, len(ids))
-	in := make([][]int64, len(ids))
-	par.ForEach(len(ids), func(i int) {
-		out[i] = dedupCopy(v1[outRuns[i][0]:outRuns[i][1]])
-		in[i] = dedupCopy(v2[inRuns[i][0]:inRuns[i][1]])
-	})
-	return graph.BuildDirectedBulk(ids, in, out)
+	return graph.BuildDirectedCols(srcs, dsts)
 }
 
 // ToUndirected converts an edge table to an undirected graph with the same
@@ -63,22 +45,7 @@ func ToUndirected(t *table.Table, srcCol, dstCol string) (*graph.Undirected, err
 	if err != nil {
 		return nil, err
 	}
-	n := len(srcs)
-	keys := make([]int64, 2*n)
-	vals := make([]int64, 2*n)
-	copy(keys[:n], srcs)
-	copy(vals[:n], dsts)
-	copy(keys[n:], dsts)
-	copy(vals[n:], srcs)
-	par.SortPairs(keys, vals)
-
-	ids := uniqueSorted(keys)
-	runs := runOffsets(ids, keys)
-	adj := make([][]int64, len(ids))
-	par.ForEach(len(ids), func(i int) {
-		adj[i] = dedupCopy(vals[runs[i][0]:runs[i][1]])
-	})
-	return graph.BuildUndirectedBulk(ids, adj)
+	return graph.BuildUndirectedCols(srcs, dsts)
 }
 
 // NaiveToDirected is the per-edge-insert baseline the sort-first algorithm
@@ -178,79 +145,4 @@ func edgeColumns(t *table.Table, srcCol, dstCol string) (srcs, dsts []int64, err
 		return nil, nil, fmt.Errorf("conv: destination column: %w", err)
 	}
 	return srcs, dsts, nil
-}
-
-// mergeUniqueSorted returns the sorted union of the distinct values of two
-// sorted slices.
-func mergeUniqueSorted(a, b []int64) []int64 {
-	out := make([]int64, 0, len(a)/2+len(b)/2)
-	i, j := 0, 0
-	for i < len(a) || j < len(b) {
-		var v int64
-		switch {
-		case j >= len(b) || (i < len(a) && a[i] <= b[j]):
-			v = a[i]
-			i++
-		default:
-			v = b[j]
-			j++
-		}
-		for i < len(a) && a[i] == v {
-			i++
-		}
-		for j < len(b) && b[j] == v {
-			j++
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
-// uniqueSorted returns the distinct values of a sorted slice.
-func uniqueSorted(a []int64) []int64 {
-	out := make([]int64, 0, len(a)/2)
-	for i := 0; i < len(a); {
-		v := a[i]
-		out = append(out, v)
-		for i < len(a) && a[i] == v {
-			i++
-		}
-	}
-	return out
-}
-
-// runOffsets returns, for each id in ids (sorted unique), the [start, end)
-// range of its run in the sorted keys slice. Ids with no run get an empty
-// range.
-func runOffsets(ids, keys []int64) [][2]int {
-	runs := make([][2]int, len(ids))
-	p := 0
-	for i, id := range ids {
-		for p < len(keys) && keys[p] < id {
-			p++
-		}
-		start := p
-		for p < len(keys) && keys[p] == id {
-			p++
-		}
-		runs[i] = [2]int{start, p}
-	}
-	return runs
-}
-
-// dedupCopy copies a sorted slice, dropping adjacent duplicates. It returns
-// nil for empty input so empty adjacency vectors carry no allocation.
-func dedupCopy(a []int64) []int64 {
-	if len(a) == 0 {
-		return nil
-	}
-	out := make([]int64, 0, len(a))
-	prev := a[0] + 1 // differs from a[0]
-	for _, v := range a {
-		if v != prev {
-			out = append(out, v)
-			prev = v
-		}
-	}
-	return out
 }

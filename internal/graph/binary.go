@@ -363,8 +363,10 @@ func LoadBinaryUndirected(r io.Reader) (*Undirected, error) {
 // LoadFileAuto loads a directed graph from path in whichever of the two
 // on-disk formats it is in, sniffing the leading magic bytes: files written
 // by SaveBinary load through the fast binary path, anything else is parsed
-// as a SNAP-style text edge list. This lets the shell's loadgraph verb read
-// back the binary files its save verb writes without a format flag.
+// as a SNAP-style text edge list by the parallel ingest pipeline. This lets
+// the shell's loadgraph verb (and the server sessions built on it) read back
+// binary files its save verb writes without a format flag, while text edge
+// lists load at full-machine speed.
 func LoadFileAuto(path string) (*Directed, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -381,5 +383,5 @@ func LoadFileAuto(path string) (*Directed, error) {
 		// integer-parse error; name the actual mismatch instead.
 		return nil, fmt.Errorf("graph: %s holds an undirected binary graph; this loader builds directed graphs (use LoadBinaryUndirected)", path)
 	}
-	return LoadEdgeList(br)
+	return LoadEdgeListParallel(br)
 }

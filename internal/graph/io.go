@@ -11,6 +11,10 @@ import (
 
 // LoadEdgeList reads a SNAP-style whitespace-separated edge list (lines of
 // "src dst", '#' comments and blank lines ignored) into a directed graph.
+// Comment lines of the form "# node <id>" declare a node without edges, the
+// convention SaveEdgeList uses so isolated nodes survive a text round trip.
+// This is the sequential reference loader; LoadEdgeListParallel accepts the
+// same inputs and builds the same graph using all cores.
 func LoadEdgeList(r io.Reader) (*Directed, error) {
 	g := NewDirected()
 	sc := bufio.NewScanner(r)
@@ -19,7 +23,13 @@ func LoadEdgeList(r io.Reader) (*Directed, error) {
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if id, ok := nodeCommentID(line); ok {
+				g.AddNode(id)
+			}
 			continue
 		}
 		fields := strings.Fields(line)
@@ -34,12 +44,34 @@ func LoadEdgeList(r io.Reader) (*Directed, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
+		if src == tombstone || dst == tombstone {
+			return nil, fmt.Errorf("graph: line %d: node id %d reserved", lineNo, int64(tombstone))
+		}
 		g.AddEdge(src, dst)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+		// The failing token is the line after the last one delivered; name
+		// it so a "token too long" on a 5 GB file is findable.
+		return nil, fmt.Errorf("graph: line %d: reading edge list: %w", lineNo+1, err)
 	}
 	return g, nil
+}
+
+// nodeCommentID recognizes the "# node <id>" comment convention that keeps
+// isolated nodes through a text round trip. The line must be trimmed and
+// start with '#'; anything that is not exactly a node declaration is an
+// ordinary comment. Both the sequential and parallel loaders call this, so
+// they cannot disagree on what counts as a declaration.
+func nodeCommentID(line string) (int64, bool) {
+	fields := strings.Fields(line[1:])
+	if len(fields) != 2 || fields[0] != "node" {
+		return 0, false
+	}
+	id, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || id == tombstone {
+		return 0, false
+	}
+	return id, true
 }
 
 // LoadEdgeListFile is LoadEdgeList reading from the named file.
@@ -53,11 +85,22 @@ func LoadEdgeListFile(path string) (*Directed, error) {
 }
 
 // SaveEdgeList writes g as a tab-separated edge list in ascending source
-// order.
+// order. Zero-degree nodes, which no edge line can carry, are written as
+// SNAP-compatible "# node <id>" comment lines so a save/load round trip
+// preserves the exact node set.
 func SaveEdgeList(w io.Writer, g *Directed) error {
 	bw := bufio.NewWriter(w)
 	var buf []byte
 	for _, src := range g.Nodes() {
+		if g.OutDeg(src) == 0 && g.InDeg(src) == 0 {
+			buf = append(buf[:0], "# node "...)
+			buf = strconv.AppendInt(buf, src, 10)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			continue
+		}
 		for _, dst := range g.OutNeighbors(src) {
 			buf = buf[:0]
 			buf = strconv.AppendInt(buf, src, 10)

@@ -349,7 +349,8 @@ func (e *Engine) cmdLoadGraph(r *Result, args []string) error {
 		return err
 	}
 	// Magic-byte sniffing: files written by "save <graph> <file>" load
-	// through the fast binary path, anything else parses as an edge list.
+	// through the fast binary path, anything else parses as a text edge
+	// list on all cores (parallel chunk parse + sort-first bulk build).
 	g, err := graph.LoadFileAuto(args[1])
 	if err != nil {
 		return err

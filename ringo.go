@@ -208,7 +208,24 @@ func BuildCSR(g *Graph) *CSR { return graph.FromDirected(g) }
 // LoadEdgeList reads a SNAP-style edge list file into a directed graph.
 func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeListFile(path) }
 
-// SaveEdgeList writes a directed graph as an edge list file.
+// LoadEdgeListParallel reads a SNAP-style edge list file with the parallel
+// ingest pipeline: chunked parsing on all cores feeding the sort-first bulk
+// constructor. It accepts the same inputs and builds the same graph as
+// LoadEdgeList, minus the sequential scanner's 4 MiB line cap.
+func LoadEdgeListParallel(path string) (*Graph, error) {
+	return graph.LoadEdgeListParallelFile(path)
+}
+
+// BuildDirected bulk-constructs a directed graph from raw (src, dst) edge
+// pairs: parallel sort, dedup, flat-arena adjacency. Equivalent to calling
+// AddEdge per pair, without the per-edge sorted inserts.
+func BuildDirected(edges [][2]int64) (*Graph, error) { return graph.BuildDirected(edges) }
+
+// BuildUndirected bulk-constructs an undirected graph from raw edge pairs.
+func BuildUndirected(edges [][2]int64) (*UGraph, error) { return graph.BuildUndirected(edges) }
+
+// SaveEdgeList writes a directed graph as an edge list file. Isolated nodes
+// are kept through the round trip as "# node <id>" comment lines.
 func SaveEdgeList(path string, g *Graph) error { return graph.SaveEdgeListFile(path, g) }
 
 // SaveGraphBinary writes a graph in the fast binary format.

@@ -131,6 +131,53 @@ func TestRoundTripThroughEdgeListFile(t *testing.T) {
 	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
 		t.Fatal("edge list round trip mismatch")
 	}
+	// The parallel loader must read the same file into the same graph.
+	parG, err := ringo.LoadEdgeListParallel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parG.NumNodes() != g.NumNodes() || parG.NumEdges() != g.NumEdges() {
+		t.Fatal("parallel edge list load mismatch")
+	}
+}
+
+func TestFacadeBulkBuild(t *testing.T) {
+	edges := [][2]int64{{1, 2}, {2, 3}, {3, 1}, {1, 2}, {4, 4}}
+	g, err := ringo.BuildDirected(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 { // duplicate collapsed, self-loop kept
+		t.Fatalf("BuildDirected: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	u, err := ringo.BuildUndirected(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumNodes() != 4 || u.NumEdges() != 4 {
+		t.Fatalf("BuildUndirected: %d nodes, %d edges", u.NumNodes(), u.NumEdges())
+	}
+}
+
+func TestEdgeListRoundTripKeepsIsolatedNodes(t *testing.T) {
+	g := ringo.NewGraph()
+	g.AddEdge(1, 2)
+	g.AddNode(99)
+	path := t.TempDir() + "/iso.tsv"
+	if err := ringo.SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []func(string) (*ringo.Graph, error){
+		ringo.LoadEdgeList, ringo.LoadEdgeListParallel, ringo.LoadGraphAuto,
+	} {
+		back, err := load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.HasNode(99) || back.NumNodes() != 3 {
+			t.Fatal("text round trip lost the isolated node")
+		}
+	}
 }
 
 func TestFacadeAlgorithmSurface(t *testing.T) {

@@ -37,7 +37,17 @@
 // and NewWorkspace construct these pieces programmatically; see README.md
 // for the HTTP API and a curl quickstart.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every table in the paper's evaluation; cmd/ringo-bench
-// regenerates them.
+// Interactivity rests on a second cache beneath the result cache: every
+// workspace carries a fingerprint-keyed CSR view cache (Workspace
+// DirectedView/UndirectedView), so the optimized flat-array representation
+// of a graph (View/UView) is built once, on the first query, and every
+// later algorithm over the unchanged graph — even a different one — skips
+// the O(V+E) conversion and runs straight over resident arrays. Any
+// mutation moves the graph's fingerprint and purges its views. The
+// package-level Example below walks the load → query → snapshot loop.
+//
+// See docs/ARCHITECTURE.md for the package map and data flow,
+// docs/COMMANDS.md for the shell verb reference, DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduction of every table in the
+// paper's evaluation; cmd/ringo-bench regenerates them.
 package ringo

@@ -12,12 +12,16 @@ import (
 // the number of reached nodes (the Wasserman-Faust formula, robust on
 // disconnected graphs). It returns 0 for missing or isolated nodes.
 func Closeness(g *graph.Directed, id int64) float64 {
-	d := denseOf(g)
-	s, ok := d.idx[id]
+	return ClosenessView(graph.BuildView(g), id)
+}
+
+// ClosenessView is Closeness over a prebuilt CSR view.
+func ClosenessView(v *graph.View, id int64) float64 {
+	s, ok := v.Index(id)
 	if !ok {
 		return 0
 	}
-	dist := bfsDense(d, s, Both)
+	dist := bfsFlat(v, s, Both)
 	var sum int64
 	reached := 0
 	for _, dv := range dist {
@@ -26,11 +30,11 @@ func Closeness(g *graph.Directed, id int64) float64 {
 			reached++
 		}
 	}
-	if sum == 0 || len(d.ids) <= 1 {
+	if sum == 0 || v.NumNodes() <= 1 {
 		return 0
 	}
 	r := float64(reached)
-	n := float64(len(d.ids))
+	n := float64(v.NumNodes())
 	return (r / float64(sum)) * (r / (n - 1))
 }
 
@@ -40,8 +44,12 @@ func Closeness(g *graph.Directed, id int64) float64 {
 // results are deterministic for a fixed seed. Edge direction is ignored, as
 // in the usual social-network usage.
 func ApproxBetweenness(g *graph.Directed, samples int, seed int64) map[int64]float64 {
-	d := denseOf(g)
-	n := len(d.ids)
+	return ApproxBetweennessView(graph.BuildView(g), samples, seed)
+}
+
+// ApproxBetweennessView is ApproxBetweenness over a prebuilt CSR view.
+func ApproxBetweennessView(v *graph.View, samples int, seed int64) map[int64]float64 {
+	n := v.NumNodes()
 	if n == 0 {
 		return map[int64]float64{}
 	}
@@ -57,23 +65,7 @@ func ApproxBetweenness(g *graph.Directed, samples int, seed int64) map[int64]flo
 		scale = float64(n) / float64(samples)
 	}
 
-	// Undirected adjacency = out ∪ in per node.
-	adj := make([][]int32, n)
-	par.ForEach(n, func(u int) {
-		merged := make([]int32, 0, len(d.out[u])+len(d.in[u]))
-		merged = append(merged, d.out[u]...)
-		merged = append(merged, d.in[u]...)
-		sortInt32(merged)
-		// Dedup in place.
-		w := 0
-		for i, v := range merged {
-			if i == 0 || v != merged[w-1] {
-				merged[w] = v
-				w++
-			}
-		}
-		adj[u] = merged[:w]
-	})
+	adj := undirectedAdj(v, false)
 
 	// Brandes accumulation parallelized over sources: each worker owns a
 	// full set of per-source arrays and a private bc accumulator; the
@@ -103,21 +95,21 @@ func ApproxBetweenness(g *graph.Directed, samples int, seed int64) map[int64]flo
 				u := queue[0]
 				queue = queue[1:]
 				order = append(order, u)
-				for _, v := range adj[u] {
-					if dist[v] < 0 {
-						dist[v] = dist[u] + 1
-						queue = append(queue, v)
+				for _, x := range adj[u] {
+					if dist[x] < 0 {
+						dist[x] = dist[u] + 1
+						queue = append(queue, x)
 					}
-					if dist[v] == dist[u]+1 {
-						sigma[v] += sigma[u]
-						preds[v] = append(preds[v], u)
+					if dist[x] == dist[u]+1 {
+						sigma[x] += sigma[u]
+						preds[x] = append(preds[x], u)
 					}
 				}
 			}
 			for i := len(order) - 1; i >= 0; i-- {
 				x := order[i]
-				for _, v := range preds[x] {
-					delta[v] += sigma[v] / sigma[x] * (1 + delta[x])
+				for _, p := range preds[x] {
+					delta[p] += sigma[p] / sigma[x] * (1 + delta[x])
 				}
 				if x != s {
 					bc[x] += delta[x]
@@ -128,8 +120,8 @@ func ApproxBetweenness(g *graph.Directed, samples int, seed int64) map[int64]flo
 	})
 	bc := make([]float64, n)
 	for _, p := range partials {
-		for i, v := range p {
-			bc[i] += v
+		for i, pv := range p {
+			bc[i] += pv
 		}
 	}
 	// Each undirected shortest path counted from both endpoints when all
@@ -137,18 +129,51 @@ func ApproxBetweenness(g *graph.Directed, samples int, seed int64) map[int64]flo
 	for i := range bc {
 		bc[i] *= scale / 2
 	}
-	return scoresToMap(d.ids, bc)
+	return scoresToMap(v.IDs(), bc)
+}
+
+// undirectedAdj merges each node's out- and in-vectors into a sorted,
+// deduplicated undirected adjacency (built in parallel), the form the
+// direction-ignoring algorithms traverse. dropSelf omits self-loops
+// (motif census ignores them; traversals keep them harmlessly).
+func undirectedAdj(v *graph.View, dropSelf bool) [][]int32 {
+	n := v.NumNodes()
+	adj := make([][]int32, n)
+	par.ForEach(n, func(u int) {
+		out, in := v.Out(int32(u)), v.In(int32(u))
+		merged := make([]int32, 0, len(out)+len(in))
+		merged = append(merged, out...)
+		merged = append(merged, in...)
+		sortInt32(merged)
+		// Dedup (and optionally drop self-loops) in place.
+		w := 0
+		for _, x := range merged {
+			if dropSelf && x == int32(u) {
+				continue
+			}
+			if w == 0 || x != merged[w-1] {
+				merged[w] = x
+				w++
+			}
+		}
+		adj[u] = merged[:w]
+	})
+	return adj
 }
 
 // Eccentricity returns the eccentricity of a node: the longest shortest
 // path from it (direction ignored), or -1 if the node is missing.
 func Eccentricity(g *graph.Directed, id int64) int {
-	d := denseOf(g)
-	s, ok := d.idx[id]
+	return EccentricityView(graph.BuildView(g), id)
+}
+
+// EccentricityView is Eccentricity over a prebuilt CSR view.
+func EccentricityView(v *graph.View, id int64) int {
+	s, ok := v.Index(id)
 	if !ok {
 		return -1
 	}
-	dist := bfsDense(d, s, Both)
+	dist := bfsFlat(v, s, Both)
 	ecc := 0
 	for _, dv := range dist {
 		if int(dv) > ecc {
@@ -162,8 +187,12 @@ func Eccentricity(g *graph.Directed, id int64) int {
 // ignored) from `samples` start nodes chosen deterministically from seed
 // and taking the largest eccentricity observed — SNAP's GetBfsFullDiam.
 func ApproxDiameter(g *graph.Directed, samples int, seed int64) int {
-	d := denseOf(g)
-	n := len(d.ids)
+	return ApproxDiameterView(graph.BuildView(g), samples, seed)
+}
+
+// ApproxDiameterView is ApproxDiameter over a prebuilt CSR view.
+func ApproxDiameterView(v *graph.View, samples int, seed int64) int {
+	n := v.NumNodes()
 	if n == 0 {
 		return 0
 	}
@@ -174,7 +203,7 @@ func ApproxDiameter(g *graph.Directed, samples int, seed int64) int {
 	starts := rng.Perm(n)[:samples]
 	diam := 0
 	for _, s := range starts {
-		dist := bfsDense(d, int32(s), Both)
+		dist := bfsFlat(v, int32(s), Both)
 		for _, dv := range dist {
 			if int(dv) > diam {
 				diam = int(dv)

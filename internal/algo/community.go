@@ -13,8 +13,12 @@ import (
 // from seed, so results are reproducible. Returns a community label per
 // node, labels dense from 0.
 func LabelPropagation(g *graph.Undirected, maxIters int, seed int64) map[int64]int {
-	d := denseOfUndir(g)
-	n := len(d.ids)
+	return LabelPropagationView(graph.BuildUView(g), maxIters, seed)
+}
+
+// LabelPropagationView is LabelPropagation over a prebuilt CSR view.
+func LabelPropagationView(v *graph.UView, maxIters int, seed int64) map[int64]int {
+	n := v.NumNodes()
 	labels := make([]int32, n)
 	for i := range labels {
 		labels[i] = int32(i)
@@ -29,12 +33,13 @@ func LabelPropagation(g *graph.Undirected, maxIters int, seed int64) map[int64]i
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		changed := 0
 		for _, u := range order {
-			if len(d.adj[u]) == 0 {
+			adjU := v.Adj(u)
+			if len(adjU) == 0 {
 				continue
 			}
 			clear(counts)
-			for _, v := range d.adj[u] {
-				counts[labels[v]]++
+			for _, x := range adjU {
+				counts[labels[x]]++
 			}
 			best := labels[u]
 			bestCount := counts[best] // prefer keeping the current label on ties
@@ -55,7 +60,7 @@ func LabelPropagation(g *graph.Undirected, maxIters int, seed int64) map[int64]i
 	// Densify labels.
 	remap := map[int32]int{}
 	out := make(map[int64]int, n)
-	for i, id := range d.ids {
+	for i, id := range v.IDs() {
 		l, ok := remap[labels[i]]
 		if !ok {
 			l = len(remap)

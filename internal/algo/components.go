@@ -16,8 +16,12 @@ type Components struct {
 // WCC computes weakly connected components of a directed graph (edge
 // direction ignored) with a union-find over the dense node space.
 func WCC(g *graph.Directed) Components {
-	d := denseOf(g)
-	n := len(d.ids)
+	return WCCView(graph.BuildView(g))
+}
+
+// WCCView is WCC over a prebuilt CSR view.
+func WCCView(v *graph.View) Components {
+	n := v.NumNodes()
 	parent := make([]int32, n)
 	for i := range parent {
 		parent[i] = int32(i)
@@ -37,19 +41,23 @@ func WCC(g *graph.Directed) Components {
 		}
 	}
 	for u := 0; u < n; u++ {
-		for _, v := range d.out[u] {
-			union(int32(u), v)
+		for _, w := range v.Out(int32(u)) {
+			union(int32(u), w)
 		}
 	}
-	return labelComponents(d.ids, func(i int32) int32 { return find(i) })
+	return labelComponents(v.IDs(), func(i int32) int32 { return find(i) })
 }
 
 // SCC computes strongly connected components with an iterative Tarjan
 // algorithm (explicit stack, so million-node graphs do not overflow the
 // goroutine stack). This is the sequential SCC benchmarked in Table 6.
 func SCC(g *graph.Directed) Components {
-	d := denseOf(g)
-	n := len(d.ids)
+	return SCCView(graph.BuildView(g))
+}
+
+// SCCView is SCC over a prebuilt CSR view.
+func SCCView(v *graph.View) Components {
+	n := v.NumNodes()
 	const unvisited = -1
 	index := make([]int32, n)
 	low := make([]int32, n)
@@ -84,18 +92,19 @@ func SCC(g *graph.Directed) Components {
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
 			u := f.node
-			if f.pos < len(d.out[u]) {
-				v := d.out[u][f.pos]
+			out := v.Out(u)
+			if f.pos < len(out) {
+				w := out[f.pos]
 				f.pos++
-				if index[v] == unvisited {
-					index[v] = next
-					low[v] = next
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
 					next++
-					stack = append(stack, v)
-					onStack[v] = true
-					frames = append(frames, frame{v, 0})
-				} else if onStack[v] && index[v] < low[u] {
-					low[u] = index[v]
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[u] {
+					low[u] = index[w]
 				}
 				continue
 			}
@@ -121,7 +130,7 @@ func SCC(g *graph.Directed) Components {
 			}
 		}
 	}
-	return labelComponents(d.ids, func(i int32) int32 { return comp[i] })
+	return labelComponents(v.IDs(), func(i int32) int32 { return comp[i] })
 }
 
 // labelComponents converts per-dense-index raw labels into dense component
@@ -176,8 +185,12 @@ func LargestWCC(g *graph.Directed) *graph.Directed {
 
 // WCCUndirected computes connected components of an undirected graph.
 func WCCUndirected(g *graph.Undirected) Components {
-	d := denseOfUndir(g)
-	n := len(d.ids)
+	return WCCUndirectedView(graph.BuildUView(g))
+}
+
+// WCCUndirectedView is WCCUndirected over a prebuilt CSR view.
+func WCCUndirectedView(v *graph.UView) Components {
+	n := v.NumNodes()
 	parent := make([]int32, n)
 	for i := range parent {
 		parent[i] = int32(i)
@@ -191,12 +204,12 @@ func WCCUndirected(g *graph.Undirected) Components {
 		return x
 	}
 	for u := 0; u < n; u++ {
-		for _, v := range d.adj[u] {
-			ra, rb := find(int32(u)), find(v)
+		for _, w := range v.Adj(int32(u)) {
+			ra, rb := find(int32(u)), find(w)
 			if ra != rb {
 				parent[ra] = rb
 			}
 		}
 	}
-	return labelComponents(d.ids, func(i int32) int32 { return find(i) })
+	return labelComponents(v.IDs(), func(i int32) int32 { return find(i) })
 }

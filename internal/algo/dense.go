@@ -6,106 +6,29 @@
 // algorithms benchmarked in the paper (Tables 3 and 6) come in both
 // sequential and parallel variants.
 //
-// Algorithms accept the dynamic hash-table graphs from internal/graph and
-// internally build a dense, array-indexed view once per invocation (the
-// role SNAP's node iterators play), then run over flat arrays.
+// Every algorithm runs over the flat CSR snapshot of the graph
+// (graph.View / graph.UView): node ids mapped to dense indices, adjacency
+// translated into arena-backed flat arrays, so iterative kernels index
+// arrays instead of hashing. Each algorithm is exported twice: a
+// view-taking variant (PageRankView, TrianglesView, ...) that runs
+// directly over a snapshot — the form the fingerprint-keyed view cache in
+// internal/core feeds, so repeated queries on an unchanged graph skip the
+// O(V+E) conversion entirely — and a thin wrapper with the historical
+// graph-taking signature that builds a throwaway view first.
 package algo
 
 import (
 	"slices"
 
-	"ringo/internal/graph"
 	"ringo/internal/par"
 )
 
-// dense is a flat-array view of a directed graph: node ids are mapped to
-// dense indices, and adjacency is translated to dense indices so iterative
-// algorithms index arrays instead of hashing.
-type dense struct {
-	ids []int64
-	idx map[int64]int32
-	out [][]int32
-	in  [][]int32
-}
-
-func denseOf(g *graph.Directed) *dense {
-	n := g.NumNodes()
-	d := &dense{
-		ids: make([]int64, 0, n),
-		idx: make(map[int64]int32, n),
-	}
-	for s := 0; s < g.NumSlots(); s++ {
-		if id, ok := g.IDAtSlot(s); ok {
-			d.idx[id] = int32(len(d.ids))
-			d.ids = append(d.ids, id)
-		}
-	}
-	d.out = make([][]int32, len(d.ids))
-	d.in = make([][]int32, len(d.ids))
-	at := 0
-	for s := 0; s < g.NumSlots(); s++ {
-		if _, ok := g.IDAtSlot(s); !ok {
-			continue
-		}
-		d.out[at] = translate(g.OutAtSlot(s), d.idx)
-		d.in[at] = translate(g.InAtSlot(s), d.idx)
-		at++
-	}
-	return d
-}
-
-// denseUndir is the undirected counterpart of dense.
-type denseUndir struct {
-	ids []int64
-	idx map[int64]int32
-	adj [][]int32
-}
-
-func denseOfUndir(g *graph.Undirected) *denseUndir {
-	n := g.NumNodes()
-	d := &denseUndir{
-		ids: make([]int64, 0, n),
-		idx: make(map[int64]int32, n),
-	}
-	for s := 0; s < g.NumSlots(); s++ {
-		if id, ok := g.IDAtSlot(s); ok {
-			d.idx[id] = int32(len(d.ids))
-			d.ids = append(d.ids, id)
-		}
-	}
-	d.adj = make([][]int32, len(d.ids))
-	at := 0
-	for s := 0; s < g.NumSlots(); s++ {
-		if _, ok := g.IDAtSlot(s); !ok {
-			continue
-		}
-		d.adj[at] = translate(g.AdjAtSlot(s), d.idx)
-		at++
-	}
-	return d
-}
-
-// translate maps node ids to dense indices. The input vectors are sorted by
-// id; because dense indices are assigned in slot order, not id order, the
-// output is re-sorted so intersection-based algorithms keep working.
-func translate(ids []int64, idx map[int64]int32) []int32 {
-	if len(ids) == 0 {
-		return nil
-	}
-	out := make([]int32, len(ids))
-	for i, id := range ids {
-		out[i] = idx[id]
-	}
-	sortInt32(out)
-	return out
-}
-
+// sortInt32 sorts a dense-index vector: insertion sort for short vectors —
+// adjacency vectors are overwhelmingly short in power-law graphs — and
+// slices.Sort (pdqsort: O(n log n) worst case, bounded recursion) beyond,
+// instead of the old hand-rolled quicksort whose unbalanced pivots could
+// recurse without bound and hit O(n²) on adversarial adjacency.
 func sortInt32(a []int32) {
-	// Insertion sort for short vectors — adjacency vectors are
-	// overwhelmingly short in power-law graphs — and slices.Sort (pdqsort:
-	// O(n log n) worst case, bounded recursion) beyond, instead of the old
-	// hand-rolled quicksort whose unbalanced pivots could recurse without
-	// bound and hit O(n²) on adversarial adjacency.
 	if len(a) < 24 {
 		for i := 1; i < len(a); i++ {
 			v := a[i]

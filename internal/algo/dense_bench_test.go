@@ -7,8 +7,8 @@ import (
 
 // powerLawVectors builds adjacency-shaped int32 vectors whose lengths follow
 // the skew of a social graph: overwhelmingly short, with a heavy tail of
-// hubs. The values are shuffled dense indices, the exact input translate()
-// feeds sortInt32.
+// hubs. The values are shuffled dense indices, the input the out/in merge
+// in undirectedAdj (and CountMotifsView) feeds sortInt32.
 func powerLawVectors(n int, seed int64) [][]int32 {
 	rng := rand.New(rand.NewSource(seed))
 	vecs := make([][]int32, n)
@@ -28,7 +28,7 @@ func powerLawVectors(n int, seed int64) [][]int32 {
 	return vecs
 }
 
-// BenchmarkSortInt32PowerLaw guards the dense-view adjacency sort: the
+// BenchmarkSortInt32PowerLaw guards the merged-adjacency sort: the
 // slices.Sort replacement for the old hand-rolled quicksort must not regress
 // on the power-law length mix that dominates real graphs.
 func BenchmarkSortInt32PowerLaw(b *testing.B) {

@@ -10,14 +10,30 @@ import (
 // lowest bucket, decrementing their neighbors. Self-loops are ignored for
 // degree purposes.
 func CoreNumbers(g *graph.Undirected) map[int64]int {
-	d := denseOfUndir(g)
-	n := len(d.ids)
+	return CoreNumbersView(graph.BuildUView(g))
+}
+
+// CoreNumbersView is CoreNumbers over a prebuilt CSR view.
+func CoreNumbersView(v *graph.UView) map[int64]int {
+	core := coreNumbersFlat(v)
+	n := v.NumNodes()
+	out := make(map[int64]int, n)
+	for u, id := range v.IDs() {
+		out[id] = int(core[u])
+	}
+	return out
+}
+
+// coreNumbersFlat runs the peeling over the view, returning core numbers
+// indexed by dense index.
+func coreNumbersFlat(v *graph.UView) []int32 {
+	n := v.NumNodes()
 	deg := make([]int32, n)
 	maxDeg := int32(0)
 	for u := 0; u < n; u++ {
 		c := int32(0)
-		for _, v := range d.adj[u] {
-			if v != int32(u) {
+		for _, x := range v.Adj(int32(u)) {
+			if x != int32(u) {
 				c++
 			}
 		}
@@ -51,30 +67,26 @@ func CoreNumbers(g *graph.Undirected) map[int64]int {
 	for i := 0; i < n; i++ {
 		u := vert[i]
 		core[u] = deg[u]
-		for _, v := range d.adj[u] {
-			if v == u {
+		for _, x := range v.Adj(u) {
+			if x == u {
 				continue
 			}
-			if deg[v] > deg[u] {
-				// Move v to the front of its bucket, then shrink its degree.
-				dv := deg[v]
-				pv := pos[v]
-				pw := bin[dv]
+			if deg[x] > deg[u] {
+				// Move x to the front of its bucket, then shrink its degree.
+				dx := deg[x]
+				px := pos[x]
+				pw := bin[dx]
 				w := vert[pw]
-				if v != w {
-					vert[pv], vert[pw] = w, v
-					pos[v], pos[w] = pw, pv
+				if x != w {
+					vert[px], vert[pw] = w, x
+					pos[x], pos[w] = pw, px
 				}
-				bin[dv]++
-				deg[v]--
+				bin[dx]++
+				deg[x]--
 			}
 		}
 	}
-	out := make(map[int64]int, n)
-	for u, id := range d.ids {
-		out[id] = int(core[u])
-	}
-	return out
+	return core
 }
 
 // KCore returns the k-core of g: the maximal subgraph in which every node
@@ -95,6 +107,31 @@ func KCore(g *graph.Undirected, k int) *graph.Undirected {
 		}
 	})
 	return sub
+}
+
+// KCoreStatsView reports the size of the k-core — node count and edge count
+// of the maximal subgraph of minimum degree k — straight from a CSR view,
+// without materializing the subgraph. It is what the repl's "algo 3core"
+// verb prints, so a cached view answers it with no graph construction.
+func KCoreStatsView(v *graph.UView, k int) (nodes int, edges int64) {
+	core := coreNumbersFlat(v)
+	for u := 0; u < v.NumNodes(); u++ {
+		if int(core[u]) < k {
+			continue
+		}
+		nodes++
+		for _, x := range v.Adj(int32(u)) {
+			if int(core[x]) < k {
+				continue
+			}
+			if x == int32(u) {
+				edges += 2 // self-loop stored once, counted as a full edge
+			} else {
+				edges++
+			}
+		}
+	}
+	return nodes, edges / 2
 }
 
 // KCoreDirected is KCore on the undirected view of a directed graph,

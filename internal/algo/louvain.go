@@ -11,8 +11,12 @@ import (
 // node (dense from 0) and the modularity of the returned partition.
 // Self-loops are ignored.
 func Louvain(g *graph.Undirected, maxPasses int) (map[int64]int, float64) {
-	d := denseOfUndir(g)
-	n := len(d.ids)
+	return LouvainView(graph.BuildUView(g), maxPasses)
+}
+
+// LouvainView is Louvain over a prebuilt CSR view.
+func LouvainView(d *graph.UView, maxPasses int) (map[int64]int, float64) {
+	n := d.NumNodes()
 	if n == 0 {
 		return map[int64]int{}, 0
 	}
@@ -26,7 +30,7 @@ func Louvain(g *graph.Undirected, maxPasses int) (map[int64]int, float64) {
 	adj := make([][]wedge, n)
 	var m2 float64 // 2m: total degree mass
 	for u := 0; u < n; u++ {
-		for _, v := range d.adj[u] {
+		for _, v := range d.Adj(int32(u)) {
 			if v == int32(u) {
 				continue
 			}
@@ -36,7 +40,7 @@ func Louvain(g *graph.Undirected, maxPasses int) (map[int64]int, float64) {
 	}
 	if m2 == 0 {
 		out := make(map[int64]int, n)
-		for i, id := range d.ids {
+		for i, id := range d.IDs() {
 			out[id] = i
 		}
 		return out, 0
@@ -147,7 +151,7 @@ func Louvain(g *graph.Undirected, maxPasses int) (map[int64]int, float64) {
 	}
 	out := make(map[int64]int, n)
 	remap := map[int32]int{}
-	for i, id := range d.ids {
+	for i, id := range d.IDs() {
 		c, ok := remap[final[i]]
 		if !ok {
 			c = len(remap)
@@ -155,5 +159,38 @@ func Louvain(g *graph.Undirected, maxPasses int) (map[int64]int, float64) {
 		}
 		out[id] = c
 	}
-	return out, Modularity(g, out)
+	return out, ModularityView(d, out)
+}
+
+// ModularityView is Modularity computed over a CSR view instead of the
+// dynamic graph (identical definition and result).
+func ModularityView(v *graph.UView, comm map[int64]int) float64 {
+	m := float64(v.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	next := len(comm)
+	lookup := func(id int64) int {
+		if c, ok := comm[id]; ok {
+			return c
+		}
+		next++
+		return next
+	}
+	var inside float64
+	degSum := map[int]float64{}
+	for u, id := range v.IDs() {
+		degSum[lookup(id)] += float64(v.Deg(int32(u)))
+		for _, x := range v.Adj(int32(u)) {
+			if int32(u) <= x && lookup(id) == lookup(v.ID(x)) {
+				inside++
+			}
+		}
+	}
+	q := inside / m
+	for _, s := range degSum {
+		frac := s / (2 * m)
+		q -= frac * frac
+	}
+	return q
 }

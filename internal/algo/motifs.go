@@ -24,60 +24,48 @@ type MotifCounts struct {
 
 // CountMotifs counts directed triangle motifs and undirected wedges.
 func CountMotifs(g *graph.Directed) MotifCounts {
-	d := denseOf(g)
-	n := len(d.ids)
+	return CountMotifsView(graph.BuildView(g))
+}
 
-	// Undirected adjacency for triangle/wedge enumeration.
-	adj := make([][]int32, n)
-	par.ForEach(n, func(u int) {
-		merged := make([]int32, 0, len(d.out[u])+len(d.in[u]))
-		merged = append(merged, d.out[u]...)
-		merged = append(merged, d.in[u]...)
-		sortInt32(merged)
-		w := 0
-		for i, v := range merged {
-			if v == int32(u) {
-				continue // ignore self-loops for motif purposes
-			}
-			if i == 0 || w == 0 || v != merged[w-1] {
-				merged[w] = v
-				w++
-			}
-		}
-		adj[u] = merged[:w]
-	})
+// CountMotifsView is CountMotifs over a prebuilt CSR view.
+func CountMotifsView(v *graph.View) MotifCounts {
+	n := v.NumNodes()
+
+	// Undirected adjacency for triangle/wedge enumeration, self-loops
+	// dropped (they carry no motif information).
+	adj := undirectedAdj(v, true)
 
 	hasArc := func(a, b int32) bool {
-		_, found := searchInt32(d.out[a], b)
+		_, found := searchInt32(v.Out(a), b)
 		return found
 	}
 
 	var mc MotifCounts
-	// Triangles: enumerate undirected triangles u<v<w, classify arcs.
+	// Triangles: enumerate undirected triangles u<x<w, classify arcs.
 	for u := 0; u < n; u++ {
 		adjU := adj[u]
 		i := upperBound(adjU, int32(u))
 		for ; i < len(adjU); i++ {
-			v := adjU[i]
-			forEachCommonAbove(adjU, adj[v], v, func(w int32) {
+			x := adjU[i]
+			forEachCommonAbove(adjU, adj[x], x, func(w int32) {
 				uu := int32(u)
 				// Count arcs among the 6 possible.
 				arcs := 0
-				cw := 0 // u->v->w->u cycle arcs
+				cw := 0 // u->x->w->u cycle arcs
 				ccw := 0
-				if hasArc(uu, v) {
+				if hasArc(uu, x) {
 					arcs++
 					cw++
 				}
-				if hasArc(v, uu) {
+				if hasArc(x, uu) {
 					arcs++
 					ccw++
 				}
-				if hasArc(v, w) {
+				if hasArc(x, w) {
 					arcs++
 					cw++
 				}
-				if hasArc(w, v) {
+				if hasArc(w, x) {
 					arcs++
 					ccw++
 				}
@@ -118,8 +106,8 @@ func CountMotifs(g *graph.Directed) MotifCounts {
 		triples += deg * (deg - 1) / 2
 		i := upperBound(adj[u], int32(u))
 		for ; i < len(adj[u]); i++ {
-			v := adj[u][i]
-			closed += countCommonAbove(adj[u], adj[v], v)
+			x := adj[u][i]
+			closed += countCommonAbove(adj[u], adj[x], x)
 		}
 	}
 	mc.Wedges = triples - 3*closed
@@ -144,16 +132,20 @@ func searchInt32(a []int32, v int32) (int, bool) {
 // number of iterations executed — the tolerance-based variant SNAP's
 // GetPageRank exposes alongside the fixed-iteration one.
 func PageRankConverged(g *graph.Directed, damping, tol float64, maxIters int) (map[int64]float64, int) {
-	d := denseOf(g)
-	n := len(d.ids)
+	return PageRankConvergedView(graph.BuildView(g), damping, tol, maxIters)
+}
+
+// PageRankConvergedView is PageRankConverged over a prebuilt CSR view.
+func PageRankConvergedView(v *graph.View, damping, tol float64, maxIters int) (map[int64]float64, int) {
+	n := v.NumNodes()
 	if n == 0 {
 		return nil, 0
 	}
 	pr := make([]float64, n)
 	next := make([]float64, n)
 	outDeg := make([]int32, n)
-	for i := range d.out {
-		outDeg[i] = int32(len(d.out[i]))
+	for i := 0; i < n; i++ {
+		outDeg[i] = int32(v.OutDeg(int32(i)))
 	}
 	parFill(pr, 1.0/float64(n))
 	iters := 0
@@ -169,7 +161,7 @@ func PageRankConverged(g *graph.Directed, damping, tol float64, maxIters int) (m
 			var dsum float64
 			for i := lo; i < hi; i++ {
 				var sum float64
-				for _, src := range d.in[i] {
+				for _, src := range v.In(int32(i)) {
 					sum += pr[src] / float64(outDeg[src])
 				}
 				next[i] = base + damping*sum
@@ -183,5 +175,5 @@ func PageRankConverged(g *graph.Directed, damping, tol float64, maxIters int) (m
 			break
 		}
 	}
-	return scoresToMap(d.ids, pr), iters
+	return scoresToMap(v.IDs(), pr), iters
 }

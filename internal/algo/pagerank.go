@@ -17,29 +17,31 @@ const DefaultDamping = 0.85
 // formulation. Dangling-node mass is redistributed uniformly so scores sum
 // to 1. Scores are returned keyed by node id.
 func PageRank(g *graph.Directed, damping float64, iters int) map[int64]float64 {
-	d := denseOf(g)
-	vals := pageRankDense(d, damping, iters, true)
-	return scoresToMap(d.ids, vals)
+	return PageRankView(graph.BuildView(g), damping, iters)
+}
+
+// PageRankView is PageRank over a prebuilt CSR view.
+func PageRankView(v *graph.View, damping float64, iters int) map[int64]float64 {
+	return scoresToMap(v.IDs(), pageRankFlat(v, damping, iters, true))
 }
 
 // PageRankSeq is the single-threaded PageRank used for the sequential
 // baselines and the parallel-vs-sequential ablation.
 func PageRankSeq(g *graph.Directed, damping float64, iters int) map[int64]float64 {
-	d := denseOf(g)
-	vals := pageRankDense(d, damping, iters, false)
-	return scoresToMap(d.ids, vals)
+	v := graph.BuildView(g)
+	return scoresToMap(v.IDs(), pageRankFlat(v, damping, iters, false))
 }
 
-func pageRankDense(d *dense, damping float64, iters int, parallel bool) []float64 {
-	n := len(d.ids)
+func pageRankFlat(v *graph.View, damping float64, iters int, parallel bool) []float64 {
+	n := v.NumNodes()
 	if n == 0 {
 		return nil
 	}
 	pr := make([]float64, n)
 	next := make([]float64, n)
 	outDeg := make([]int32, n)
-	for i := range d.out {
-		outDeg[i] = int32(len(d.out[i]))
+	for i := 0; i < n; i++ {
+		outDeg[i] = int32(v.OutDeg(int32(i)))
 	}
 	init := 1.0 / float64(n)
 	parFill(pr, init)
@@ -73,7 +75,7 @@ func pageRankDense(d *dense, damping float64, iters int, parallel bool) []float6
 		runRange(func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				var sum float64
-				for _, src := range d.in[i] {
+				for _, src := range v.In(int32(i)) {
 					sum += pr[src] / float64(outDeg[src])
 				}
 				next[i] = base + damping*sum
@@ -89,14 +91,18 @@ func pageRankDense(d *dense, damping float64, iters int, parallel bool) []float6
 // random-walk-with-restart relevance measure. Unknown seeds are ignored; it
 // returns nil if no seed is a node of g.
 func PersonalizedPageRank(g *graph.Directed, seeds []int64, damping float64, iters int) map[int64]float64 {
-	d := denseOf(g)
-	n := len(d.ids)
+	return PersonalizedPageRankView(graph.BuildView(g), seeds, damping, iters)
+}
+
+// PersonalizedPageRankView is PersonalizedPageRank over a prebuilt CSR view.
+func PersonalizedPageRankView(v *graph.View, seeds []int64, damping float64, iters int) map[int64]float64 {
+	n := v.NumNodes()
 	if n == 0 {
 		return nil
 	}
 	seedIdx := make([]int32, 0, len(seeds))
 	for _, s := range seeds {
-		if i, ok := d.idx[s]; ok {
+		if i, ok := v.Index(s); ok {
 			seedIdx = append(seedIdx, i)
 		}
 	}
@@ -108,8 +114,8 @@ func PersonalizedPageRank(g *graph.Directed, seeds []int64, damping float64, ite
 		teleport[i] += 1.0 / float64(len(seedIdx))
 	}
 	outDeg := make([]int32, n)
-	for i := range d.out {
-		outDeg[i] = int32(len(d.out[i]))
+	for i := 0; i < n; i++ {
+		outDeg[i] = int32(v.OutDeg(int32(i)))
 	}
 	pr := make([]float64, n)
 	next := make([]float64, n)
@@ -124,7 +130,7 @@ func PersonalizedPageRank(g *graph.Directed, seeds []int64, damping float64, ite
 		par.For(n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				var sum float64
-				for _, src := range d.in[i] {
+				for _, src := range v.In(int32(i)) {
 					sum += pr[src] / float64(outDeg[src])
 				}
 				next[i] = (1-damping)*teleport[i] + damping*(sum+dangling*teleport[i])
@@ -132,7 +138,7 @@ func PersonalizedPageRank(g *graph.Directed, seeds []int64, damping float64, ite
 		})
 		pr, next = next, pr
 	}
-	return scoresToMap(d.ids, pr)
+	return scoresToMap(v.IDs(), pr)
 }
 
 // HITSScores holds hub and authority scores keyed by node id.
@@ -144,8 +150,12 @@ type HITSScores struct {
 // HITS computes Kleinberg's hubs-and-authorities scores by power iteration
 // with L2 normalization each round.
 func HITS(g *graph.Directed, iters int) HITSScores {
-	d := denseOf(g)
-	n := len(d.ids)
+	return HITSView(graph.BuildView(g), iters)
+}
+
+// HITSView is HITS over a prebuilt CSR view.
+func HITSView(v *graph.View, iters int) HITSScores {
+	n := v.NumNodes()
 	hub := make([]float64, n)
 	auth := make([]float64, n)
 	parFill(hub, 1)
@@ -155,7 +165,7 @@ func HITS(g *graph.Directed, iters int) HITSScores {
 		par.For(n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				var s float64
-				for _, src := range d.in[i] {
+				for _, src := range v.In(int32(i)) {
 					s += hub[src]
 				}
 				auth[i] = s
@@ -166,7 +176,7 @@ func HITS(g *graph.Directed, iters int) HITSScores {
 		par.For(n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				var s float64
-				for _, dst := range d.out[i] {
+				for _, dst := range v.Out(int32(i)) {
 					s += auth[dst]
 				}
 				hub[i] = s
@@ -175,8 +185,8 @@ func HITS(g *graph.Directed, iters int) HITSScores {
 		normalize(hub)
 	}
 	return HITSScores{
-		Hub:       scoresToMap(d.ids, hub),
-		Authority: scoresToMap(d.ids, auth),
+		Hub:       scoresToMap(v.IDs(), hub),
+		Authority: scoresToMap(v.IDs(), auth),
 	}
 }
 

@@ -15,12 +15,16 @@ import (
 // is the parallel counterpart of the sequential BFS benchmarked in Table 6.
 // Results are identical to BFS.
 func BFSParallel(g *graph.Directed, src int64, dir EdgeDir) map[int64]int {
-	d := denseOf(g)
-	s, ok := d.idx[src]
+	return BFSParallelView(graph.BuildView(g), src, dir)
+}
+
+// BFSParallelView is BFSParallel over a prebuilt CSR view.
+func BFSParallelView(v *graph.View, src int64, dir EdgeDir) map[int64]int {
+	s, ok := v.Index(src)
 	if !ok {
 		return nil
 	}
-	n := len(d.ids)
+	n := v.NumNodes()
 	dist := make([]int32, n)
 	for i := range dist {
 		dist[i] = -1
@@ -35,22 +39,22 @@ func BFSParallel(g *graph.Directed, src int64, dir EdgeDir) map[int64]int {
 		nextParts := make([][]int32, len(ranges))
 		par.ForEach(len(ranges), func(w int) {
 			var out []int32
-			visit := func(v int32) {
-				// Claim v for this level; exactly one worker wins.
-				if atomic.CompareAndSwapInt32(&dist[v], -1, level) {
-					out = append(out, v)
+			visit := func(x int32) {
+				// Claim x for this level; exactly one worker wins.
+				if atomic.CompareAndSwapInt32(&dist[x], -1, level) {
+					out = append(out, x)
 				}
 			}
 			for fi := ranges[w].Lo; fi < ranges[w].Hi; fi++ {
 				u := frontier[fi]
 				if dir == Out || dir == Both {
-					for _, v := range d.out[u] {
-						visit(v)
+					for _, x := range v.Out(u) {
+						visit(x)
 					}
 				}
 				if dir == In || dir == Both {
-					for _, v := range d.in[u] {
-						visit(v)
+					for _, x := range v.In(u) {
+						visit(x)
 					}
 				}
 			}
@@ -64,7 +68,7 @@ func BFSParallel(g *graph.Directed, src int64, dir EdgeDir) map[int64]int {
 	out := make(map[int64]int)
 	for i, dv := range dist {
 		if dv >= 0 {
-			out[d.ids[i]] = int(dv)
+			out[v.ID(int32(i))] = int(dv)
 		}
 	}
 	return out

@@ -12,20 +12,24 @@ import (
 // each round every node atomically lowers its neighbors' labels to the
 // minimum seen, until no label changes. Results are identical to WCC.
 func WCCParallel(g *graph.Directed) Components {
-	d := denseOf(g)
-	n := len(d.ids)
+	return WCCParallelView(graph.BuildView(g))
+}
+
+// WCCParallelView is WCCParallel over a prebuilt CSR view.
+func WCCParallelView(v *graph.View) Components {
+	n := v.NumNodes()
 	label := make([]int32, n)
 	for i := range label {
 		label[i] = int32(i)
 	}
-	// lowerTo atomically lowers label[v] to at most x, reporting change.
-	lowerTo := func(v int32, x int32) bool {
+	// lowerTo atomically lowers label[x] to at most val, reporting change.
+	lowerTo := func(x int32, val int32) bool {
 		for {
-			cur := atomic.LoadInt32(&label[v])
-			if cur <= x {
+			cur := atomic.LoadInt32(&label[x])
+			if cur <= val {
 				return false
 			}
-			if atomic.CompareAndSwapInt32(&label[v], cur, x) {
+			if atomic.CompareAndSwapInt32(&label[x], cur, val) {
 				return true
 			}
 		}
@@ -36,14 +40,14 @@ func WCCParallel(g *graph.Directed) Components {
 			for u := lo; u < hi; u++ {
 				lu := atomic.LoadInt32(&label[u])
 				min := lu
-				for _, v := range d.out[u] {
-					if lv := atomic.LoadInt32(&label[v]); lv < min {
-						min = lv
+				for _, x := range v.Out(int32(u)) {
+					if lx := atomic.LoadInt32(&label[x]); lx < min {
+						min = lx
 					}
 				}
-				for _, v := range d.in[u] {
-					if lv := atomic.LoadInt32(&label[v]); lv < min {
-						min = lv
+				for _, x := range v.In(int32(u)) {
+					if lx := atomic.LoadInt32(&label[x]); lx < min {
+						min = lx
 					}
 				}
 				if min < lu {
@@ -53,13 +57,13 @@ func WCCParallel(g *graph.Directed) Components {
 				}
 				// Push the minimum outward too, halving convergence rounds
 				// on long chains.
-				for _, v := range d.out[u] {
-					if lowerTo(v, min) {
+				for _, x := range v.Out(int32(u)) {
+					if lowerTo(x, min) {
 						c++
 					}
 				}
-				for _, v := range d.in[u] {
-					if lowerTo(v, min) {
+				for _, x := range v.In(int32(u)) {
+					if lowerTo(x, min) {
 						c++
 					}
 				}
@@ -70,5 +74,5 @@ func WCCParallel(g *graph.Directed) Components {
 			break
 		}
 	}
-	return labelComponents(d.ids, func(i int32) int32 { return label[i] })
+	return labelComponents(v.IDs(), func(i int32) int32 { return label[i] })
 }

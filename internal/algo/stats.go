@@ -65,8 +65,12 @@ func DegreeAssortativity(g *graph.Undirected) float64 {
 // ignored), pooling all finite pairwise distances, with linear
 // interpolation between the two straddling integer distances.
 func EffectiveDiameter(g *graph.Directed, samples int, seed int64) float64 {
-	d := denseOf(g)
-	n := len(d.ids)
+	return EffectiveDiameterView(graph.BuildView(g), samples, seed)
+}
+
+// EffectiveDiameterView is EffectiveDiameter over a prebuilt CSR view.
+func EffectiveDiameterView(v *graph.View, samples int, seed int64) float64 {
+	n := v.NumNodes()
 	if n == 0 {
 		return 0
 	}
@@ -79,7 +83,7 @@ func EffectiveDiameter(g *graph.Directed, samples int, seed int64) float64 {
 	counts := []int64{}
 	var total int64
 	for _, s := range starts {
-		dist := bfsDense(d, int32(s), Both)
+		dist := bfsFlat(v, int32(s), Both)
 		for _, dv := range dist {
 			if dv <= 0 {
 				continue

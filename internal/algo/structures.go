@@ -11,8 +11,12 @@ import (
 // whose removal increases the number of connected components. Iterative
 // Tarjan lowlink computation, safe on deep graphs.
 func ArticulationPoints(g *graph.Undirected) []int64 {
-	d := denseOfUndir(g)
-	n := len(d.ids)
+	return ArticulationPointsView(graph.BuildUView(g))
+}
+
+// ArticulationPointsView is ArticulationPoints over a prebuilt CSR view.
+func ArticulationPointsView(v *graph.UView) []int64 {
+	n := v.NumNodes()
 	disc := make([]int32, n)
 	low := make([]int32, n)
 	parent := make([]int32, n)
@@ -38,23 +42,24 @@ func ArticulationPoints(g *graph.Undirected) []int64 {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			u := f.node
-			if f.pos < len(d.adj[u]) {
-				v := d.adj[u][f.pos]
+			adjU := v.Adj(u)
+			if f.pos < len(adjU) {
+				x := adjU[f.pos]
 				f.pos++
-				if v == u {
+				if x == u {
 					continue // self-loop
 				}
-				if disc[v] == -1 {
-					parent[v] = u
+				if disc[x] == -1 {
+					parent[x] = u
 					if u == int32(root) {
 						rootChildren++
 					}
-					disc[v] = timer
-					low[v] = timer
+					disc[x] = timer
+					low[x] = timer
 					timer++
-					stack = append(stack, frame{v, 0})
-				} else if v != parent[u] && disc[v] < low[u] {
-					low[u] = disc[v]
+					stack = append(stack, frame{x, 0})
+				} else if x != parent[u] && disc[x] < low[u] {
+					low[u] = disc[x]
 				}
 				continue
 			}
@@ -75,7 +80,7 @@ func ArticulationPoints(g *graph.Undirected) []int64 {
 	var out []int64
 	for i, cut := range isCut {
 		if cut {
-			out = append(out, d.ids[i])
+			out = append(out, v.ID(int32(i)))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -85,8 +90,12 @@ func ArticulationPoints(g *graph.Undirected) []int64 {
 // Bridges returns the cut edges of an undirected graph (edges whose removal
 // disconnects their endpoints), each as {smaller id, larger id}, sorted.
 func Bridges(g *graph.Undirected) [][2]int64 {
-	d := denseOfUndir(g)
-	n := len(d.ids)
+	return BridgesView(graph.BuildUView(g))
+}
+
+// BridgesView is Bridges over a prebuilt CSR view.
+func BridgesView(v *graph.UView) [][2]int64 {
+	n := v.NumNodes()
 	disc := make([]int32, n)
 	low := make([]int32, n)
 	parent := make([]int32, n)
@@ -112,21 +121,22 @@ func Bridges(g *graph.Undirected) [][2]int64 {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			u := f.node
-			if f.pos < len(d.adj[u]) {
-				v := d.adj[u][f.pos]
+			adjU := v.Adj(u)
+			if f.pos < len(adjU) {
+				x := adjU[f.pos]
 				f.pos++
-				if v == u {
+				if x == u {
 					continue
 				}
-				if disc[v] == -1 {
-					parent[v] = u
-					disc[v] = timer
-					low[v] = timer
+				if disc[x] == -1 {
+					parent[x] = u
+					disc[x] = timer
+					low[x] = timer
 					timer++
-					stack = append(stack, frame{v, 0, false})
-				} else if v != parent[u] || f.skipped {
-					if disc[v] < low[u] {
-						low[u] = disc[v]
+					stack = append(stack, frame{x, 0, false})
+				} else if x != parent[u] || f.skipped {
+					if disc[x] < low[u] {
+						low[u] = disc[x]
 					}
 				} else {
 					// First sighting of the tree edge back to the parent:
@@ -141,7 +151,7 @@ func Bridges(g *graph.Undirected) [][2]int64 {
 					low[p] = low[u]
 				}
 				if low[u] > disc[p] {
-					a, b := d.ids[p], d.ids[u]
+					a, b := v.ID(p), v.ID(u)
 					if a > b {
 						a, b = b, a
 					}
@@ -162,11 +172,15 @@ func Bridges(g *graph.Undirected) [][2]int64 {
 // TopoSort returns a topological order of a directed acyclic graph (Kahn's
 // algorithm). It errors if the graph contains a cycle.
 func TopoSort(g *graph.Directed) ([]int64, error) {
-	d := denseOf(g)
-	n := len(d.ids)
+	return TopoSortView(graph.BuildView(g))
+}
+
+// TopoSortView is TopoSort over a prebuilt CSR view.
+func TopoSortView(v *graph.View) ([]int64, error) {
+	n := v.NumNodes()
 	indeg := make([]int32, n)
 	for u := 0; u < n; u++ {
-		indeg[u] = int32(len(d.in[u]))
+		indeg[u] = int32(v.InDeg(int32(u)))
 	}
 	// Ready nodes kept id-sorted for deterministic output.
 	ready := make([]int32, 0, n)
@@ -175,16 +189,16 @@ func TopoSort(g *graph.Directed) ([]int64, error) {
 			ready = append(ready, int32(u))
 		}
 	}
-	sort.Slice(ready, func(i, j int) bool { return d.ids[ready[i]] < d.ids[ready[j]] })
+	sort.Slice(ready, func(i, j int) bool { return v.ID(ready[i]) < v.ID(ready[j]) })
 	order := make([]int64, 0, n)
 	for len(ready) > 0 {
 		u := ready[0]
 		ready = ready[1:]
-		order = append(order, d.ids[u])
-		for _, v := range d.out[u] {
-			indeg[v]--
-			if indeg[v] == 0 {
-				ready = append(ready, v)
+		order = append(order, v.ID(u))
+		for _, x := range v.Out(u) {
+			indeg[x]--
+			if indeg[x] == 0 {
+				ready = append(ready, x)
 			}
 		}
 	}
@@ -204,8 +218,12 @@ func IsDAG(g *graph.Directed) bool {
 // contains an odd cycle (not bipartite); otherwise side maps every node to
 // 0 or 1 with no monochromatic edge.
 func Bipartition(g *graph.Undirected) (side map[int64]int, ok bool) {
-	d := denseOfUndir(g)
-	n := len(d.ids)
+	return BipartitionView(graph.BuildUView(g))
+}
+
+// BipartitionView is Bipartition over a prebuilt CSR view.
+func BipartitionView(v *graph.UView) (side map[int64]int, ok bool) {
+	n := v.NumNodes()
 	color := make([]int8, n)
 	for i := range color {
 		color[i] = -1
@@ -219,21 +237,21 @@ func Bipartition(g *graph.Undirected) (side map[int64]int, ok bool) {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range d.adj[u] {
-				if v == u {
+			for _, x := range v.Adj(u) {
+				if x == u {
 					return nil, false // self-loop is an odd cycle
 				}
-				if color[v] == -1 {
-					color[v] = 1 - color[u]
-					queue = append(queue, v)
-				} else if color[v] == color[u] {
+				if color[x] == -1 {
+					color[x] = 1 - color[u]
+					queue = append(queue, x)
+				} else if color[x] == color[u] {
 					return nil, false
 				}
 			}
 		}
 	}
 	side = make(map[int64]int, n)
-	for i, id := range d.ids {
+	for i, id := range v.IDs() {
 		side[id] = int(color[i])
 	}
 	return side, true

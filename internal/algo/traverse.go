@@ -24,24 +24,28 @@ const (
 // returns hop distances keyed by node id for every reached node (including
 // src at distance 0). It returns nil if src is not a node.
 func BFS(g *graph.Directed, src int64, dir EdgeDir) map[int64]int {
-	d := denseOf(g)
-	s, ok := d.idx[src]
+	return BFSView(graph.BuildView(g), src, dir)
+}
+
+// BFSView is BFS over a prebuilt CSR view.
+func BFSView(v *graph.View, src int64, dir EdgeDir) map[int64]int {
+	s, ok := v.Index(src)
 	if !ok {
 		return nil
 	}
-	dist := bfsDense(d, s, dir)
+	dist := bfsFlat(v, s, dir)
 	out := make(map[int64]int)
 	for i, dv := range dist {
 		if dv >= 0 {
-			out[d.ids[i]] = int(dv)
+			out[v.ID(int32(i))] = int(dv)
 		}
 	}
 	return out
 }
 
-// bfsDense runs BFS over the dense view, returning -1 for unreached nodes.
-func bfsDense(d *dense, src int32, dir EdgeDir) []int32 {
-	n := len(d.ids)
+// bfsFlat runs BFS over the CSR view, returning -1 for unreached nodes.
+func bfsFlat(v *graph.View, src int32, dir EdgeDir) []int32 {
+	n := v.NumNodes()
 	dist := make([]int32, n)
 	for i := range dist {
 		dist[i] = -1
@@ -54,18 +58,18 @@ func bfsDense(d *dense, src int32, dir EdgeDir) []int32 {
 		queue = queue[1:]
 		du := dist[u]
 		expand := func(nbrs []int32) {
-			for _, v := range nbrs {
-				if dist[v] < 0 {
-					dist[v] = du + 1
-					queue = append(queue, v)
+			for _, w := range nbrs {
+				if dist[w] < 0 {
+					dist[w] = du + 1
+					queue = append(queue, w)
 				}
 			}
 		}
 		if dir == Out || dir == Both {
-			expand(d.out[u])
+			expand(v.Out(u))
 		}
 		if dir == In || dir == Both {
-			expand(d.in[u])
+			expand(v.In(u))
 		}
 	}
 	return dist
@@ -81,16 +85,20 @@ func SSSPUnweighted(g *graph.Directed, src int64) map[int64]int {
 // ShortestPath returns the hop distance from src to dst following
 // out-edges, or -1 if dst is unreachable.
 func ShortestPath(g *graph.Directed, src, dst int64) int {
-	d := denseOf(g)
-	s, ok := d.idx[src]
+	return ShortestPathView(graph.BuildView(g), src, dst)
+}
+
+// ShortestPathView is ShortestPath over a prebuilt CSR view.
+func ShortestPathView(v *graph.View, src, dst int64) int {
+	s, ok := v.Index(src)
 	if !ok {
 		return -1
 	}
-	t, ok := d.idx[dst]
+	t, ok := v.Index(dst)
 	if !ok {
 		return -1
 	}
-	dist := bfsDense(d, s, Out)
+	dist := bfsFlat(v, s, Out)
 	return int(dist[t])
 }
 
@@ -102,12 +110,16 @@ type WeightFunc func(src, dst int64) float64
 // following out-edges, with edge lengths from w. Unreachable nodes are
 // absent from the result. It returns nil if src is not a node.
 func Dijkstra(g *graph.Directed, src int64, w WeightFunc) map[int64]float64 {
-	d := denseOf(g)
-	s, ok := d.idx[src]
+	return DijkstraView(graph.BuildView(g), src, w)
+}
+
+// DijkstraView is Dijkstra over a prebuilt CSR view.
+func DijkstraView(v *graph.View, src int64, w WeightFunc) map[int64]float64 {
+	s, ok := v.Index(src)
 	if !ok {
 		return nil
 	}
-	n := len(d.ids)
+	n := v.NumNodes()
 	dist := make([]float64, n)
 	for i := range dist {
 		dist[i] = math.Inf(1)
@@ -120,18 +132,18 @@ func Dijkstra(g *graph.Directed, src int64, w WeightFunc) map[int64]float64 {
 		if top.dist > dist[u] {
 			continue // stale entry
 		}
-		for _, v := range d.out[u] {
-			nd := dist[u] + w(d.ids[u], d.ids[v])
-			if nd < dist[v] {
-				dist[v] = nd
-				heap.Push(pq, distEntry{v, nd})
+		for _, x := range v.Out(u) {
+			nd := dist[u] + w(v.ID(u), v.ID(x))
+			if nd < dist[x] {
+				dist[x] = nd
+				heap.Push(pq, distEntry{x, nd})
 			}
 		}
 	}
 	out := make(map[int64]float64)
 	for i, dv := range dist {
 		if !math.IsInf(dv, 1) {
-			out[d.ids[i]] = dv
+			out[v.ID(int32(i))] = dv
 		}
 	}
 	return out

@@ -11,11 +11,15 @@ import (
 // parallelized by splitting the node range across workers. Each triangle
 // {a,b,c} with a<b<c is counted exactly once, at its smallest-index vertex.
 func Triangles(g *graph.Undirected) int64 {
-	d := denseOfUndir(g)
-	return par.SumInt(len(d.ids), func(lo, hi int) int64 {
+	return TrianglesView(graph.BuildUView(g))
+}
+
+// TrianglesView is Triangles over a prebuilt CSR view.
+func TrianglesView(v *graph.UView) int64 {
+	return par.SumInt(v.NumNodes(), func(lo, hi int) int64 {
 		var count int64
 		for u := lo; u < hi; u++ {
-			count += trianglesAt(d, int32(u))
+			count += trianglesAt(v, int32(u))
 		}
 		return count
 	})
@@ -24,26 +28,30 @@ func Triangles(g *graph.Undirected) int64 {
 // TrianglesSeq is the single-threaded triangle count (parallel-vs-
 // sequential ablation baseline).
 func TrianglesSeq(g *graph.Undirected) int64 {
-	d := denseOfUndir(g)
+	return TrianglesSeqView(graph.BuildUView(g))
+}
+
+// TrianglesSeqView is TrianglesSeq over a prebuilt CSR view.
+func TrianglesSeqView(v *graph.UView) int64 {
 	var count int64
-	for u := range d.ids {
-		count += trianglesAt(d, int32(u))
+	for u := 0; u < v.NumNodes(); u++ {
+		count += trianglesAt(v, int32(u))
 	}
 	return count
 }
 
 // trianglesAt counts triangles whose smallest dense index is u: for every
-// neighbor v > u, the common neighbors w of u and v with w > v each close
+// neighbor x > u, the common neighbors w of u and x with w > x each close
 // one triangle. Adjacency vectors are sorted, so common neighbors come from
 // a linear merge.
-func trianglesAt(d *denseUndir, u int32) int64 {
-	adjU := d.adj[u]
+func trianglesAt(v *graph.UView, u int32) int64 {
+	adjU := v.Adj(u)
 	// Skip to neighbors > u.
 	i := upperBound(adjU, u)
 	var count int64
 	for ; i < len(adjU); i++ {
-		v := adjU[i]
-		count += countCommonAbove(adjU, d.adj[v], v)
+		x := adjU[i]
+		count += countCommonAbove(adjU, v.Adj(x), x)
 	}
 	return count
 }
@@ -86,25 +94,29 @@ func upperBound(a []int32, v int32) int {
 // NodeTriangles returns, for every node, the number of triangles the node
 // participates in (each triangle counted at all three corners).
 func NodeTriangles(g *graph.Undirected) map[int64]int64 {
-	d := denseOfUndir(g)
-	n := len(d.ids)
+	return NodeTrianglesView(graph.BuildUView(g))
+}
+
+// NodeTrianglesView is NodeTriangles over a prebuilt CSR view.
+func NodeTrianglesView(v *graph.UView) map[int64]int64 {
+	n := v.NumNodes()
 	counts := make([]int64, n)
 	// Sequential accumulation: each triangle updates three corners, which
 	// would race under the node-partitioned scheme.
 	for u := 0; u < n; u++ {
-		adjU := d.adj[u]
+		adjU := v.Adj(int32(u))
 		i := upperBound(adjU, int32(u))
 		for ; i < len(adjU); i++ {
-			v := adjU[i]
-			forEachCommonAbove(adjU, d.adj[v], v, func(w int32) {
+			x := adjU[i]
+			forEachCommonAbove(adjU, v.Adj(x), x, func(w int32) {
 				counts[u]++
-				counts[v]++
+				counts[x]++
 				counts[w]++
 			})
 		}
 	}
 	out := make(map[int64]int64, n)
-	for i, id := range d.ids {
+	for i, id := range v.IDs() {
 		out[id] = counts[i]
 	}
 	return out
@@ -132,18 +144,23 @@ func forEachCommonAbove(a, b []int32, floor int32, fn func(w int32)) {
 // averaged over nodes with degree >= 2 contributing their ratio and others
 // contributing 0, as in SNAP's GetClustCf.
 func ClusteringCoefficient(g *graph.Undirected) float64 {
-	d := denseOfUndir(g)
-	n := len(d.ids)
+	return ClusteringCoefficientView(graph.BuildUView(g))
+}
+
+// ClusteringCoefficientView is ClusteringCoefficient over a prebuilt CSR
+// view.
+func ClusteringCoefficientView(v *graph.UView) float64 {
+	n := v.NumNodes()
 	if n == 0 {
 		return 0
 	}
 	total := par.Reduce(n, 0.0, func(lo, hi int) float64 {
 		var s float64
 		for u := lo; u < hi; u++ {
-			adjU := d.adj[u]
+			adjU := v.Adj(int32(u))
 			deg := 0
-			for _, v := range adjU {
-				if v != int32(u) {
+			for _, x := range adjU {
+				if x != int32(u) {
 					deg++
 				}
 			}
@@ -151,11 +168,11 @@ func ClusteringCoefficient(g *graph.Undirected) float64 {
 				continue
 			}
 			var closed int64
-			for _, v := range adjU {
-				if v == int32(u) {
+			for _, x := range adjU {
+				if x == int32(u) {
 					continue
 				}
-				closed += countCommonExcluding(adjU, d.adj[v], int32(u), v)
+				closed += countCommonExcluding(adjU, v.Adj(x), int32(u), x)
 			}
 			// closed counted each connected pair twice (once per order).
 			s += float64(closed) / float64(deg*(deg-1))

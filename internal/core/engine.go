@@ -4,6 +4,14 @@
 // GetPageRank, TableFromHashMap, ...). The root ringo package re-exports
 // this API; cmd/ringo drives it interactively; the experiment harness in
 // this package regenerates every table of the paper's evaluation.
+//
+// The package's two stateful pieces implement the paper's session model:
+// Workspace is the named-object registry standing in for the Python
+// session (provenance-tracked bindings, versioned fingerprints, binary
+// snapshot/restore), and ViewCache — embedded in every workspace — keeps
+// the flat CSR snapshots (graph.View/UView) that algorithms run over,
+// keyed by object fingerprint so a graph is converted to its optimized
+// representation once per state, not once per query.
 package core
 
 import (
@@ -155,6 +163,13 @@ func schemaString(t *table.Table) string {
 // surfaced as Fingerprint — identify an object's exact state and make safe
 // cache keys: any mutation invalidates all fingerprints taken before it.
 //
+// Graph bindings are queried through DirectedView/UndirectedView, which
+// serve the flat CSR snapshot algorithms run over from a fingerprint-keyed
+// ViewCache: the first query on a graph pays the O(V+E) conversion, every
+// later query on the unchanged graph goes straight to flat-array compute.
+// Every mutating operation (Set, Delete, Rename, Touch, Restore) purges the
+// affected views.
+//
 // A Workspace is safe for concurrent use by multiple goroutines.
 type Workspace struct {
 	mu    sync.RWMutex
@@ -163,14 +178,97 @@ type Workspace struct {
 	ver   map[string]uint64
 	clock uint64
 	order []string
+	views *ViewCache
 }
 
-// NewWorkspace returns an empty workspace.
+// NewWorkspace returns an empty workspace with a view cache of
+// DefaultViewCacheEntries; resize or disable it with ConfigureViewCache.
 func NewWorkspace() *Workspace {
 	return &Workspace{
-		objs: make(map[string]Object),
-		prov: make(map[string]string),
-		ver:  make(map[string]uint64),
+		objs:  make(map[string]Object),
+		prov:  make(map[string]string),
+		ver:   make(map[string]uint64),
+		views: NewViewCache(DefaultViewCacheEntries),
+	}
+}
+
+// ConfigureViewCache resizes the workspace's CSR view cache; maxEntries < 1
+// disables caching (every query rebuilds its view). The previous cache's
+// contents are discarded.
+func (w *Workspace) ConfigureViewCache(maxEntries int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if maxEntries < 1 {
+		w.views = nil
+		return
+	}
+	w.views = NewViewCache(maxEntries)
+}
+
+// ViewCacheStats reports the view cache's cumulative hits and misses, the
+// current entry count and resident bytes (zeros when disabled).
+func (w *Workspace) ViewCacheStats() (hits, misses uint64, entries int, bytes int64) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.views.Stats()
+}
+
+// DirectedView returns the CSR view of the directed graph bound to name,
+// served from the view cache when possible: on a hit no O(V+E) conversion
+// runs, the paper's build-once-query-many model.
+func (w *Workspace) DirectedView(name string) (*graph.View, error) {
+	w.mu.RLock()
+	o, ok := w.objs[name]
+	ver := w.ver[name]
+	views := w.views
+	w.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("no object named %q", name)
+	}
+	if o.Graph == nil {
+		return nil, fmt.Errorf("%q is a %s, not a directed graph", name, o.Kind())
+	}
+	v := views.Directed(name, ver, func() *graph.View { return graph.BuildView(o.Graph) })
+	w.dropIfStale(views, name, ver)
+	return v, nil
+}
+
+// UndirectedView returns the undirected CSR view of the graph bound to
+// name — for a directed graph, the view of its undirected projection
+// (edge directions dropped, duplicates merged), which is what triangle
+// counting, bridges, k-core and the other orientation-blind algorithms
+// consume. Cached like DirectedView.
+func (w *Workspace) UndirectedView(name string) (*graph.UView, error) {
+	w.mu.RLock()
+	o, ok := w.objs[name]
+	ver := w.ver[name]
+	views := w.views
+	w.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("no object named %q", name)
+	}
+	var v *graph.UView
+	switch {
+	case o.UGraph != nil:
+		v = views.Undirected(name, ver, func() *graph.UView { return graph.BuildUView(o.UGraph) })
+	case o.Graph != nil:
+		v = views.Undirected(name, ver, func() *graph.UView { return graph.BuildUView(graph.AsUndirected(o.Graph)) })
+	default:
+		return nil, fmt.Errorf("%q is a %s, not a graph", name, o.Kind())
+	}
+	w.dropIfStale(views, name, ver)
+	return v, nil
+}
+
+// dropIfStale evicts the view just served if its binding was mutated away
+// while the view was being built: in that interleaving the mutator's
+// purge ran before the cache insertion landed, and without this check the
+// dead view would stay resident until LRU pressure reached it. (If the
+// mutation happens after this check instead, its purge runs after the
+// insertion and removes the entry itself — either order is covered.)
+func (w *Workspace) dropIfStale(views *ViewCache, name string, ver uint64) {
+	if cur, ok := w.Version(name); !ok || cur != ver {
+		views.Drop(name, ver)
 	}
 }
 
@@ -191,6 +289,7 @@ func (w *Workspace) SetWithProvenance(name string, o Object, prov string) {
 	w.prov[name] = prov
 	w.clock++
 	w.ver[name] = w.clock
+	w.views.Purge(name)
 }
 
 // Delete removes a binding, reporting whether it existed.
@@ -209,6 +308,7 @@ func (w *Workspace) Delete(name string) bool {
 			break
 		}
 	}
+	w.views.Purge(name)
 	return true
 }
 
@@ -245,6 +345,8 @@ func (w *Workspace) Rename(oldName, newName string) error {
 	w.prov[newName] = prov
 	w.clock++
 	w.ver[newName] = w.clock
+	w.views.Purge(oldName)
+	w.views.Purge(newName)
 	return nil
 }
 
@@ -257,6 +359,7 @@ func (w *Workspace) Touch(name string) {
 	if _, ok := w.objs[name]; ok {
 		w.clock++
 		w.ver[name] = w.clock
+		w.views.Purge(name)
 	}
 }
 

@@ -71,6 +71,9 @@ func (w *Workspace) Restore(in io.Reader) error {
 		}
 	}
 	w.clock = base + maxVer
+	// Every binding was replaced wholesale; no pre-restore view can ever be
+	// asked for again, so drop them all.
+	w.views.PurgeAll()
 	return nil
 }
 

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"ringo/internal/graph"
+)
+
+// DefaultViewCacheEntries bounds a workspace's view cache. Views are
+// O(V+E) objects, so the bound is deliberately small: an interactive
+// session works on a handful of graphs at a time, and anything colder is
+// cheaper to rebuild than to keep resident.
+const DefaultViewCacheEntries = 8
+
+// viewKey identifies one cached CSR snapshot: the exact state of a
+// workspace binding — its fingerprint, carried as the (name, version)
+// pair rather than the formatted "name#version" string, so keying is
+// exact for any binding name — plus the orientation. A directed graph has
+// both a directed view (pagerank, scc, bfs, ...) and an undirected one
+// (triangles, bridges, ...); they cache independently.
+type viewKey struct {
+	name  string
+	ver   uint64
+	undir bool
+}
+
+// viewEntry is one cache slot. The view itself is built inside once, so
+// concurrent readers asking for the same uncached view block on a single
+// build instead of racing O(V+E) constructions; bytes is recorded under
+// the cache lock after the build completes.
+type viewEntry struct {
+	key   viewKey
+	once  sync.Once
+	dir   *graph.View
+	un    *graph.UView
+	bytes int64
+}
+
+// ViewCache is the fingerprint-keyed CSR view cache at the heart of
+// Ringo's interactivity model (§2.2 of Perez et al.): the optimized
+// flat-array representation of a graph is built once, on the first query,
+// and every later query over the unchanged graph runs straight over it.
+// Exact invalidation comes for free from workspace fingerprints — any
+// mutation of a binding changes its version, so stale views can never be
+// served — and the workspace additionally purges entries eagerly on
+// mutation so dead views stop holding memory. Bounded LRU; safe for
+// concurrent use.
+type ViewCache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List
+	items  map[viewKey]*list.Element
+	hits   uint64
+	misses uint64
+	bytes  int64
+}
+
+// NewViewCache returns a cache holding at most max views (max < 1 is
+// treated as 1).
+func NewViewCache(max int) *ViewCache {
+	if max < 1 {
+		max = 1
+	}
+	return &ViewCache{max: max, ll: list.New(), items: make(map[viewKey]*list.Element)}
+}
+
+// acquire returns the entry for key, inserting (and evicting) as needed.
+// The caller runs the build inside the entry's once.
+func (c *ViewCache) acquire(key viewKey) (*viewEntry, *list.Element) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*viewEntry), el
+	}
+	ent := &viewEntry{key: key}
+	el := c.ll.PushFront(ent)
+	c.items[key] = el
+	c.misses++
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		old := oldest.Value.(*viewEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, old.key)
+		c.bytes -= old.bytes
+	}
+	return ent, el
+}
+
+// record books the finished build's size, unless the entry was evicted
+// while it was building (then the view lives only as long as its callers).
+func (c *ViewCache) record(ent *viewEntry, el *list.Element, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent.bytes = bytes
+	if cur, ok := c.items[ent.key]; ok && cur == el {
+		c.bytes += bytes
+	} else {
+		ent.bytes = 0
+	}
+}
+
+// Directed returns the cached directed view for the binding state
+// (name, ver), building it with build on a miss. A nil cache always
+// builds.
+func (c *ViewCache) Directed(name string, ver uint64, build func() *graph.View) *graph.View {
+	if c == nil {
+		return build()
+	}
+	ent, el := c.acquire(viewKey{name: name, ver: ver})
+	ent.once.Do(func() {
+		ent.dir = build()
+		c.record(ent, el, ent.dir.Bytes())
+	})
+	return ent.dir
+}
+
+// Undirected returns the cached undirected view for the binding state
+// (name, ver), building it with build on a miss. A nil cache always
+// builds.
+func (c *ViewCache) Undirected(name string, ver uint64, build func() *graph.UView) *graph.UView {
+	if c == nil {
+		return build()
+	}
+	ent, el := c.acquire(viewKey{name: name, ver: ver, undir: true})
+	ent.once.Do(func() {
+		ent.un = build()
+		c.record(ent, el, ent.un.Bytes())
+	})
+	return ent.un
+}
+
+// Drop removes both orientations of one exact binding state. The
+// workspace calls it when a view finished building just as its binding
+// was mutated away: the mutator's Purge ran before the insertion landed,
+// so without the drop the dead view would linger until LRU eviction.
+func (c *ViewCache) Drop(name string, ver uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, undir := range [2]bool{false, true} {
+		key := viewKey{name: name, ver: ver, undir: undir}
+		if el, ok := c.items[key]; ok {
+			ent := el.Value.(*viewEntry)
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.bytes -= ent.bytes
+		}
+	}
+}
+
+// Purge drops every view of the named binding, whatever its version — the
+// purge-on-mutate path: the binding's fingerprint has moved on, so these
+// entries can never hit again.
+func (c *ViewCache) Purge(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if key.name == name {
+			ent := el.Value.(*viewEntry)
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.bytes -= ent.bytes
+		}
+	}
+}
+
+// PurgeAll empties the cache (workspace restore: every binding's
+// fingerprint was replaced wholesale).
+func (c *ViewCache) PurgeAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+	c.bytes = 0
+}
+
+// Stats returns cumulative hits and misses, the current entry count, and
+// the estimated resident bytes of the cached views.
+func (c *ViewCache) Stats() (hits, misses uint64, entries int, bytes int64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len(), c.bytes
+}

@@ -2,7 +2,17 @@
 // reproduction: static range-partitioned parallel loops, parallel reduction,
 // and parallel sorting. It plays the role OpenMP plays in the original C++
 // implementation (Perez et al., SIGMOD 2015, §2.5): a handful of primitives
-// that parallelize the critical loops of table and graph processing.
+// that parallelize the critical loops of table and graph processing — the
+// sort-first bulk graph construction, the text-ingest pipeline, the CSR
+// view builders (graph.BuildView/BuildUView) and the parallel algorithm
+// variants all run on these loops.
+//
+// The primitives mirror OpenMP's static schedule deliberately: work splits
+// into at most Workers() contiguous ranges up front, workers touch
+// disjoint index ranges (no locks, no work stealing), and every call
+// blocks until the loop completes. Callers own all cross-range
+// synchronization — typically by writing to disjoint slices sized in
+// advance.
 package par
 
 import (

@@ -6,15 +6,20 @@
 // Result; front-ends decide how to present it (Render reproduces the
 // classic shell text, the server marshals it as JSON).
 //
-// Expensive analytics (pagerank, algo) can be backed by a result cache: the
-// engine keys computations by the input object's workspace fingerprint plus
-// the command, so a repeated PageRank over an unchanged graph is served
-// without recomputation, and any rebind/touch of the graph invalidates the
-// entry by changing the fingerprint.
+// Expensive analytics (pagerank, algo) are cached at two levels, both keyed
+// by the input object's workspace fingerprint. A result cache (SetCache)
+// stores finished answers, so repeating the exact command over an unchanged
+// graph is served without any computation. Beneath it, the workspace's CSR
+// view cache stores the flat-array snapshot the algorithms run over, so a
+// *different* analytics command over the same unchanged graph skips the
+// O(V+E) dense conversion and goes straight to flat-array compute — the
+// paper's build-once, query-many interactivity model. Any rebind, rename or
+// touch of the graph invalidates both by moving its fingerprint.
 package repl
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -80,6 +85,66 @@ func (e *Engine) SetCache(c Cache) { e.cache = c }
 // Workspace exposes the engine's backing workspace.
 func (e *Engine) Workspace() *core.Workspace { return e.ws }
 
+// verb describes one command of the shell language: its handler plus the
+// properties front-ends key dispatch decisions off. The table is the single
+// source of truth — Eval dispatches from it, ReadOnly/TouchesFiles/
+// ReplacesWorkspace consult it, and the drift test in engine_docs_test.go
+// checks docs/COMMANDS.md against it.
+type verb struct {
+	run func(e *Engine, r *Result, args []string) error
+	// mutates marks state-changing commands; everything else (ls, show,
+	// top, algo, save, snapshot, help) only reads workspace state.
+	mutates bool
+	// files marks commands that read or write host files. A network
+	// front-end serving untrusted clients uses this to refuse host
+	// filesystem access while the local shell keeps the verbs.
+	files bool
+	// replaces marks commands that swap out the entire workspace contents
+	// rather than touching individual bindings (currently only restore).
+	replaces bool
+}
+
+// verbs is the command table. Handlers taking no positional arguments are
+// adapted inline.
+var verbs = map[string]verb{
+	"help": {run: func(e *Engine, r *Result, _ []string) error {
+		r.Message = HelpText
+		return nil
+	}},
+	"ls":           {run: func(e *Engine, r *Result, _ []string) error { return e.cmdLs(r) }},
+	"gen":          {run: (*Engine).cmdGen, mutates: true},
+	"load":         {run: (*Engine).cmdLoad, mutates: true, files: true},
+	"loadgraph":    {run: (*Engine).cmdLoadGraph, mutates: true, files: true},
+	"select":       {run: (*Engine).cmdSelect, mutates: true},
+	"filter":       {run: (*Engine).cmdFilter, mutates: true},
+	"join":         {run: (*Engine).cmdJoin, mutates: true},
+	"project":      {run: (*Engine).cmdProject, mutates: true},
+	"groupcount":   {run: (*Engine).cmdGroupCount, mutates: true},
+	"order":        {run: (*Engine).cmdOrder, mutates: true},
+	"tograph":      {run: (*Engine).cmdToGraph, mutates: true},
+	"totable":      {run: (*Engine).cmdToTable, mutates: true},
+	"pagerank":     {run: (*Engine).cmdPageRank, mutates: true},
+	"scores2table": {run: (*Engine).cmdScoresToTable, mutates: true},
+	"algo":         {run: (*Engine).cmdAlgo},
+	"top":          {run: (*Engine).cmdTop},
+	"show":         {run: (*Engine).cmdShow},
+	"save":         {run: (*Engine).cmdSave, files: true},
+	"snapshot":     {run: (*Engine).cmdSnapshot, files: true},
+	"restore":      {run: (*Engine).cmdRestore, mutates: true, files: true, replaces: true},
+	"rm":           {run: (*Engine).cmdRm, mutates: true},
+	"mv":           {run: (*Engine).cmdMv, mutates: true},
+}
+
+// Verbs returns the names of every command the engine evaluates, sorted.
+func Verbs() []string {
+	out := make([]string, 0, len(verbs))
+	for name := range verbs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ReadOnly reports whether the command line only reads workspace state.
 // Unknown or empty commands are treated as read-only — they fail without
 // side effects.
@@ -88,43 +153,31 @@ func ReadOnly(line string) bool {
 	if len(f) == 0 {
 		return true
 	}
-	return !mutatingVerbs[f[0]]
+	return !verbs[f[0]].mutates
 }
 
 // TouchesFiles reports whether the command reads or writes host files
-// (load, loadgraph, save, snapshot, restore). A network front-end serving
-// untrusted clients can use this to refuse host filesystem access while
-// the local shell keeps the verbs.
+// (load, loadgraph, save, snapshot, restore).
 func TouchesFiles(line string) bool {
 	f := strings.Fields(line)
 	if len(f) == 0 {
 		return false
 	}
-	switch f[0] {
-	case "load", "loadgraph", "save", "snapshot", "restore":
-		return true
-	}
-	return false
+	return verbs[f[0]].files
 }
 
 // ReplacesWorkspace reports whether the command swaps out the entire
-// workspace contents rather than touching individual bindings (currently
-// only restore). Hosts that key caches per workspace object should purge
-// everything for this session after such a command: the replaced objects'
-// entries can never hit again (versions are bumped past them) and would
-// otherwise linger as dead weight.
+// workspace contents rather than touching individual bindings. Hosts that
+// key caches per workspace object should purge everything for this session
+// after such a command: the replaced objects' entries can never hit again
+// (versions are bumped past them) and would otherwise linger as dead
+// weight.
 func ReplacesWorkspace(line string) bool {
 	f := strings.Fields(line)
-	return len(f) > 0 && f[0] == "restore"
-}
-
-// mutatingVerbs is the set of state-changing commands; everything else
-// (ls, show, top, algo, save, snapshot, help) only reads workspace state.
-var mutatingVerbs = map[string]bool{
-	"gen": true, "load": true, "loadgraph": true, "select": true,
-	"filter": true, "join": true, "project": true, "groupcount": true,
-	"order": true, "tograph": true, "totable": true, "pagerank": true,
-	"scores2table": true, "rm": true, "mv": true, "restore": true,
+	if len(f) == 0 {
+		return false
+	}
+	return verbs[f[0]].replaces
 }
 
 // HelpText documents the command language for interactive front-ends.
@@ -169,58 +222,11 @@ func (e *Engine) Eval(line string) (*Result, error) {
 	cmd := args[0]
 	args = args[1:]
 	r := &Result{Cmd: line}
-	var err error
-	switch cmd {
-	case "help":
-		r.Message = HelpText
-	case "ls":
-		err = e.cmdLs(r)
-	case "gen":
-		err = e.cmdGen(r, args)
-	case "load":
-		err = e.cmdLoad(r, args)
-	case "loadgraph":
-		err = e.cmdLoadGraph(r, args)
-	case "select":
-		err = e.cmdSelect(r, args)
-	case "filter":
-		err = e.cmdFilter(r, args)
-	case "join":
-		err = e.cmdJoin(r, args)
-	case "project":
-		err = e.cmdProject(r, args)
-	case "groupcount":
-		err = e.cmdGroupCount(r, args)
-	case "order":
-		err = e.cmdOrder(r, args)
-	case "tograph":
-		err = e.cmdToGraph(r, args)
-	case "totable":
-		err = e.cmdToTable(r, args)
-	case "pagerank":
-		err = e.cmdPageRank(r, args)
-	case "scores2table":
-		err = e.cmdScoresToTable(r, args)
-	case "algo":
-		err = e.cmdAlgo(r, args)
-	case "top":
-		err = e.cmdTop(r, args)
-	case "show":
-		err = e.cmdShow(r, args)
-	case "save":
-		err = e.cmdSave(r, args)
-	case "snapshot":
-		err = e.cmdSnapshot(r, args)
-	case "restore":
-		err = e.cmdRestore(r, args)
-	case "rm":
-		err = e.cmdRm(r, args)
-	case "mv":
-		err = e.cmdMv(r, args)
-	default:
-		err = fmt.Errorf("unknown command %q (try help)", cmd)
+	v, ok := verbs[cmd]
+	if !ok {
+		return nil, fmt.Errorf("unknown command %q (try help)", cmd)
 	}
-	if err != nil {
+	if err := v.run(e, r, args); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -548,10 +554,9 @@ func (e *Engine) cmdPageRank(r *Result, args []string) error {
 	if err := need(args, 2, "pagerank <out> <graph>"); err != nil {
 		return err
 	}
-	g, err := e.ws.Graph(args[1])
-	if err != nil {
-		return err
-	}
+	// No upfront type check: a result-cache hit can only exist for a
+	// version at which the binding was a directed graph, and on a miss
+	// DirectedView performs the identical validation.
 	key, cacheable := e.cacheKey("pagerank", args[1])
 	if cacheable {
 		if v, ok := e.cache.Get(key); ok {
@@ -562,7 +567,13 @@ func (e *Engine) cmdPageRank(r *Result, args []string) error {
 		}
 	}
 	start := time.Now()
-	pr := core.GetPageRank(g)
+	// The CSR view comes from the workspace's fingerprint-keyed cache: a
+	// repeat query on an unchanged graph skips the O(V+E) conversion.
+	v, err := e.ws.DirectedView(args[1])
+	if err != nil {
+		return err
+	}
+	pr := algo.PageRankView(v, algo.DefaultDamping, 10)
 	r.ElapsedNS = time.Since(start).Nanoseconds()
 	e.bind(r, args[0], core.Object{Scores: pr})
 	r.Message = fmt.Sprintf("%s: %d nodes scored", args[0], len(pr))
@@ -593,10 +604,6 @@ func (e *Engine) cmdAlgo(r *Result, args []string) error {
 	if err := need(args, 2, "algo <graph> triangles|wcc|scc|3core|diam"); err != nil {
 		return err
 	}
-	g, err := e.ws.Graph(args[0])
-	if err != nil {
-		return err
-	}
 	key, cacheable := e.cacheKey("algo "+args[1], args[0])
 	if cacheable {
 		if v, ok := e.cache.Get(key); ok {
@@ -605,44 +612,92 @@ func (e *Engine) cmdAlgo(r *Result, args []string) error {
 			return nil
 		}
 	}
+	// Every branch computes over the workspace's cached CSR views:
+	// direction-blind algorithms fetch the undirected view (which also
+	// subsumes the old AsUndirected projection cost), the rest the
+	// directed one. Repeat analytics on an unchanged graph do no O(V+E)
+	// conversion at all.
 	start := time.Now()
 	switch args[1] {
 	case "triangles":
-		n := algo.Triangles(graph.AsUndirected(g))
+		uv, err := e.ws.UndirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		n := algo.TrianglesView(uv)
 		r.Message = fmt.Sprintf("%d triangles", n)
 	case "wcc":
-		c := algo.WCC(g)
+		v, err := e.ws.DirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		c := algo.WCCView(v)
 		r.Message = fmt.Sprintf("%d weak components, largest %d", c.Count, c.MaxSize)
 	case "scc":
-		c := algo.SCC(g)
+		v, err := e.ws.DirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		c := algo.SCCView(v)
 		r.Message = fmt.Sprintf("%d strong components, largest %d", c.Count, c.MaxSize)
 	case "3core":
-		k := algo.KCoreDirected(g, 3)
-		r.Message = fmt.Sprintf("3-core: %d nodes, %d edges", k.NumNodes(), k.NumEdges())
+		uv, err := e.ws.UndirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		nodes, edges := algo.KCoreStatsView(uv, 3)
+		r.Message = fmt.Sprintf("3-core: %d nodes, %d edges", nodes, edges)
 	case "diam":
-		d := algo.ApproxDiameter(g, 8, 1)
+		v, err := e.ws.DirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		d := algo.ApproxDiameterView(v, 8, 1)
 		r.Message = fmt.Sprintf("approximate diameter %d", d)
 	case "motifs":
-		mc := algo.CountMotifs(g)
+		v, err := e.ws.DirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		mc := algo.CountMotifsView(v)
 		r.Message = fmt.Sprintf("%d cyclic triangles, %d transitive triangles, %d wedges",
 			mc.CyclicTriangles, mc.TransTriangles, mc.Wedges)
 	case "bridges":
-		br := algo.Bridges(graph.AsUndirected(g))
+		uv, err := e.ws.UndirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		br := algo.BridgesView(uv)
 		r.Message = fmt.Sprintf("%d bridges", len(br))
 	case "cuts":
-		cuts := algo.ArticulationPoints(graph.AsUndirected(g))
+		uv, err := e.ws.UndirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		cuts := algo.ArticulationPointsView(uv)
 		r.Message = fmt.Sprintf("%d articulation points", len(cuts))
 	case "toposort":
-		order, err := algo.TopoSort(g)
+		v, err := e.ws.DirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		order, err := algo.TopoSortView(v)
 		if err != nil {
 			r.Message = fmt.Sprintf("not a DAG: %v", err)
 			return nil
 		}
 		r.Message = fmt.Sprintf("topological order of %d nodes (first 10): %v", len(order), order[:min(10, len(order))])
 	case "clustering":
-		cc := algo.ClusteringCoefficient(graph.AsUndirected(g))
+		uv, err := e.ws.UndirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		cc := algo.ClusteringCoefficientView(uv)
 		r.Message = fmt.Sprintf("average clustering coefficient %.4f", cc)
 	default:
+		if _, err := e.ws.Graph(args[0]); err != nil {
+			return err
+		}
 		return fmt.Errorf("unknown algorithm %q", args[1])
 	}
 	r.ElapsedNS = time.Since(start).Nanoseconds()

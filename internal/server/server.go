@@ -5,9 +5,12 @@
 // under the shared lock, while mutating commands serialize. All sessions
 // share one LRU result cache keyed by (session, object fingerprint,
 // command), so repeated analytics over unchanged objects are answered
-// without recomputation. Long-running commands can be submitted as async
-// jobs (POST /sessions/{id}/jobs) and polled (GET /jobs/{id}) so no HTTP
-// connection is held open for minutes.
+// without recomputation; beneath it, each session's workspace carries a
+// fingerprint-keyed CSR view cache, so even *new* analytics over an
+// unchanged graph skip the O(V+E) dense conversion (both cache layers
+// report hits and misses on GET /stats). Long-running commands can be
+// submitted as async jobs (POST /sessions/{id}/jobs) and polled
+// (GET /jobs/{id}) so no HTTP connection is held open for minutes.
 //
 // Endpoints:
 //
@@ -53,6 +56,10 @@ type Config struct {
 	// CacheSize bounds the shared result cache (entries). 0 means
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
+	// ViewCacheSize bounds each session's CSR view cache (entries). 0
+	// means the workspace default; negative disables view caching, so
+	// every analytics command rebuilds its flat view.
+	ViewCacheSize int
 	// Workers is the async job worker pool size (0 means DefaultWorkers).
 	Workers int
 	// MaxSessions caps concurrent sessions (0 means unlimited).
@@ -103,6 +110,7 @@ type Server struct {
 	nextSess   int
 	maxSess    int
 	allowFiles bool
+	viewCache  int
 	// cacheEpoch makes each session instance's cache namespace unique:
 	// dropping and recreating a session id must not inherit the old
 	// instance's entries (a fresh workspace restarts its version clock,
@@ -125,6 +133,7 @@ func New(cfg Config) *Server {
 		maxSess:    cfg.MaxSessions,
 		allowFiles: cfg.AllowFileIO,
 		authToken:  cfg.AuthToken,
+		viewCache:  cfg.ViewCacheSize,
 	}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
@@ -179,6 +188,22 @@ func (s *Server) CacheStats() (hits, misses uint64, size int) {
 	return s.cache.Stats()
 }
 
+// ViewCacheStats aggregates the per-session CSR view caches: cumulative
+// hits and misses, current entries, and estimated resident bytes across
+// every live session.
+func (s *Server) ViewCacheStats() (hits, misses uint64, entries int, bytes int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sess := range s.sessions {
+		h, m, e, b := sess.eng.Workspace().ViewCacheStats()
+		hits += h
+		misses += m
+		entries += e
+		bytes += b
+	}
+	return hits, misses, entries, bytes
+}
+
 // Sentinel errors CreateSession wraps, so the HTTP layer can map each
 // failure mode to the right status (400 invalid, 503 full, 409 duplicate).
 var (
@@ -210,7 +235,11 @@ func (s *Server) CreateSession(name string) (string, error) {
 	} else if s.sessions[name] != nil {
 		return "", fmt.Errorf("session %q already exists", name)
 	}
-	sess := &session{id: name, eng: repl.New(core.NewWorkspace()), created: time.Now()}
+	ws := core.NewWorkspace()
+	if s.viewCache != 0 {
+		ws.ConfigureViewCache(s.viewCache) // negative disables
+	}
+	sess := &session{id: name, eng: repl.New(ws), created: time.Now()}
 	if s.cache != nil {
 		s.cacheEpoch++
 		sess.cachePrefix = fmt.Sprintf("%s@%d|", name, s.cacheEpoch)
@@ -585,6 +614,7 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.CacheStats()
+	vHits, vMisses, vEntries, vBytes := s.ViewCacheStats()
 	s.mu.RLock()
 	nSess := len(s.sessions)
 	s.mu.RUnlock()
@@ -595,6 +625,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"hits":    hits,
 			"misses":  misses,
 			"entries": size,
+		},
+		"views": map[string]any{
+			"hits":    vHits,
+			"misses":  vMisses,
+			"entries": vEntries,
+			"bytes":   vBytes,
 		},
 	})
 }

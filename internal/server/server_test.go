@@ -821,3 +821,61 @@ func TestWarmStart(t *testing.T) {
 		}
 	}
 }
+
+// TestViewCacheStatsOnServer checks the second cache layer: distinct
+// analytics over one unchanged graph share its CSR view (hits climb), the
+// /stats endpoint surfaces the counters, and disabling the per-session
+// view cache via config turns the layer off.
+func TestViewCacheStatsOnServer(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	doJSON(t, "POST", ts.URL+"/sessions", map[string]string{"id": "s"}, nil)
+	query(t, ts.URL, "s", "gen rmat E 9 800 3")
+	query(t, ts.URL, "s", "tograph G E src dst")
+
+	// Three different directed analytics: one view build, two view hits
+	// (the result cache cannot serve them — the commands differ).
+	query(t, ts.URL, "s", "algo G wcc")
+	query(t, ts.URL, "s", "algo G scc")
+	query(t, ts.URL, "s", "pagerank PR G")
+	hits, misses, entries, bytes := srv.ViewCacheStats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("view stats: %d hits, %d misses; want 2 hits, 1 miss", hits, misses)
+	}
+	if entries != 1 || bytes <= 0 {
+		t.Fatalf("view stats: %d entries, %d bytes", entries, bytes)
+	}
+
+	// An undirected analytic builds the second orientation.
+	query(t, ts.URL, "s", "algo G triangles")
+	if _, misses, entries, _ = srv.ViewCacheStats(); misses != 2 || entries != 2 {
+		t.Fatalf("after triangles: %d misses, %d entries; want 2/2", misses, entries)
+	}
+
+	// Rebinding the graph purges its views.
+	query(t, ts.URL, "s", "tograph G E src dst")
+	if _, _, entries, _ = srv.ViewCacheStats(); entries != 0 {
+		t.Fatalf("rebind left %d view entries", entries)
+	}
+
+	var stats struct {
+		Views struct {
+			Hits, Misses uint64
+			Entries      int
+		}
+	}
+	doJSON(t, "GET", ts.URL+"/stats", nil, &stats)
+	if stats.Views.Misses != 2 || stats.Views.Hits != 2 {
+		t.Fatalf("/stats views = %+v", stats.Views)
+	}
+
+	// ViewCacheSize < 0 disables the layer entirely.
+	srvOff, tsOff := newTestServer(t, Config{ViewCacheSize: -1})
+	doJSON(t, "POST", tsOff.URL+"/sessions", map[string]string{"id": "s"}, nil)
+	query(t, tsOff.URL, "s", "gen rmat E 8 300 2")
+	query(t, tsOff.URL, "s", "tograph G E src dst")
+	query(t, tsOff.URL, "s", "algo G wcc")
+	query(t, tsOff.URL, "s", "algo G scc")
+	if h, m, _, _ := srvOff.ViewCacheStats(); h != 0 || m != 0 {
+		t.Fatalf("disabled view cache still counts: %d hits, %d misses", h, m)
+	}
+}

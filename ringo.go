@@ -73,6 +73,14 @@ type (
 	Network = graph.Network
 	// CSR is the static Compressed Sparse Row baseline representation.
 	CSR = graph.CSR
+	// View is the flat CSR snapshot of a directed graph that algorithms
+	// run over; build one with BuildView or fetch a cached one with
+	// Workspace.DirectedView.
+	View = graph.View
+	// UView is the undirected CSR snapshot (Workspace.UndirectedView).
+	UView = graph.UView
+	// ViewCache is the fingerprint-keyed CSR view cache workspaces carry.
+	ViewCache = core.ViewCache
 
 	// Components is a connected-component decomposition result.
 	Components = algo.Components
@@ -204,6 +212,41 @@ func AsUndirected(g *Graph) *UGraph { return graph.AsUndirected(g) }
 
 // BuildCSR snapshots a directed graph into the static CSR representation.
 func BuildCSR(g *Graph) *CSR { return graph.FromDirected(g) }
+
+// BuildView snapshots a directed graph into the flat CSR view the
+// algorithm library runs over (built in parallel). Prefer
+// Workspace.DirectedView when the graph lives in a workspace: the view is
+// then cached by fingerprint and rebuilt only after mutations.
+func BuildView(g *Graph) *View { return graph.BuildView(g) }
+
+// BuildUView snapshots an undirected graph into its flat CSR view (see
+// BuildView; the workspace counterpart is Workspace.UndirectedView).
+func BuildUView(g *UGraph) *UView { return graph.BuildUView(g) }
+
+// PageRankView runs parallel PageRank over a prebuilt CSR view — the
+// zero-conversion path a cached view enables. Every Get* algorithm has a
+// *View sibling in the underlying library; the most common are re-exported
+// here.
+func PageRankView(v *View, damping float64, iters int) map[int64]float64 {
+	return algo.PageRankView(v, damping, iters)
+}
+
+// GetWCCView computes weakly connected components over a prebuilt view.
+func GetWCCView(v *View) Components { return algo.WCCView(v) }
+
+// GetSCCView computes strongly connected components over a prebuilt view.
+func GetSCCView(v *View) Components { return algo.SCCView(v) }
+
+// GetBFSView returns hop distances from src over a prebuilt view.
+func GetBFSView(v *View, src int64, dir EdgeDir) map[int64]int {
+	return algo.BFSView(v, src, dir)
+}
+
+// CountTrianglesView counts triangles over a prebuilt undirected view.
+func CountTrianglesView(v *UView) int64 { return algo.TrianglesView(v) }
+
+// GetCoreNumbersView computes core numbers over a prebuilt undirected view.
+func GetCoreNumbersView(v *UView) map[int64]int { return algo.CoreNumbersView(v) }
 
 // LoadEdgeList reads a SNAP-style edge list file into a directed graph.
 func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeListFile(path) }

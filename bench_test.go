@@ -1,8 +1,8 @@
 // Benchmarks regenerating each table of the Ringo paper's evaluation (§3)
-// plus ablations for the design choices DESIGN.md calls out. One benchmark
+// plus ablations for the repository's design choices. One benchmark
 // (or group) per table; cmd/ringo-bench prints the same results in the
-// paper's row format. Dataset scales are laptop-sized; EXPERIMENTS.md maps
-// the measured shapes to the paper's numbers.
+// paper's row format. Dataset scales are laptop-sized; the notes on each
+// cmd/ringo-bench report map the measured shapes to the paper's numbers.
 package ringo_test
 
 import (

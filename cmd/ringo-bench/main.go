@@ -4,12 +4,12 @@
 //
 // Usage:
 //
-//	ringo-bench [-table all|1|2|3|4|5|6|footprint|ingest|views] [-lj 0.02] [-tw 0.002]
+//	ringo-bench [-table all|1|2|3|4|5|6|footprint|ingest|views|script] [-lj 0.02] [-tw 0.002]
 //
 // -lj and -tw scale the LiveJournal and Twitter2010 stand-ins (1.0 = the
 // paper's full sizes of 69M and 1.5B edge rows; defaults are laptop-sized).
-// Absolute timings depend on the host; EXPERIMENTS.md records the shape
-// comparisons against the paper's numbers.
+// Absolute timings depend on the host; each report's notes record the
+// shape comparisons against the paper's numbers.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	tableSel := flag.String("table", "all", "which table to regenerate: all, 1-6, footprint, ingest, views")
+	tableSel := flag.String("table", "all", "which table to regenerate: all, 1-6, footprint, ingest, views, script")
 	ljScale := flag.Float64("lj", 0.02, "LiveJournal stand-in scale factor (1.0 = 69M edge rows)")
 	twScale := flag.Float64("tw", 0.002, "Twitter2010 stand-in scale factor (1.0 = 1.5B edge rows)")
 	flag.Parse()
@@ -71,5 +71,8 @@ func main() {
 	}
 	if want("views") {
 		run("views", func() (core.Report, error) { return core.Views(specs) })
+	}
+	if want("script") {
+		run("script", ScriptBatch)
 	}
 }

@@ -13,6 +13,13 @@
 //	curl -s localhost:7475/jobs/j1
 //	curl -s -X POST localhost:7475/sessions/demo/query -d '{"cmd":"top PR 5"}'
 //
+// Whole analyses batch as scripts: POST /sessions/{id}/script runs an
+// N-step command file in one round trip under a single session-lock
+// acquisition, returning per-step results and timings (docs/SERVER.md has
+// the full API reference, docs/COMMANDS.md the script format). Script
+// steps that touch host files are refused without -allow-file-io, with the
+// offending step named before anything runs.
+//
 // With -allow-file-io the server can persist and reload whole sessions as
 // binary workspace snapshots (POST /sessions/{id}/snapshot and /restore),
 // and -restore <file> warm-starts a restarted server from such a snapshot

@@ -13,15 +13,34 @@
 //	tograph G QA UserId-1 UserId-2
 //	pagerank PR G
 //	top PR 10
+//
+// With -script <file> the shell runs a script non-interactively instead:
+// the same verbs, one per line, with # comments and @echo/@time/@continue
+// directives (see docs/COMMANDS.md). The process exits non-zero if any
+// step fails, naming the step, so scripts work in CI and cron:
+//
+//	ringo -script examples/quickstart/analysis.rng
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 )
 
 func main() {
+	scriptPath := flag.String("script", "",
+		"run this script file non-interactively and exit (non-zero if a step fails)")
+	flag.Parse()
+
 	sh := newShell(os.Stdout)
+	if *scriptPath != "" {
+		if err := sh.runScriptFile(*scriptPath); err != nil {
+			fmt.Fprintf(os.Stderr, "ringo: script %s: %v\n", *scriptPath, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := sh.run(os.Stdin); err != nil {
 		fmt.Fprintf(os.Stderr, "ringo: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunScriptFileQuickstart runs the shipped example script through the
+// exact path `ringo -script examples/quickstart/analysis.rng` uses; a nil
+// error is what main turns into exit status 0, so this pins the shipped
+// artifact staying runnable.
+func TestRunScriptFileQuickstart(t *testing.T) {
+	var out strings.Builder
+	sh := newShell(&out)
+	if err := sh.runScriptFile("../../examples/quickstart/analysis.rng"); err != nil {
+		t.Fatalf("quickstart script failed: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"ringo> gen rmat E 14 200000 42", // @echo
+		"E: 200000 rows",
+		"nodes scored",
+		"# step 1:", // @time
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if names := sh.sortedNames(); len(names) != 4 { // E G PR S
+		t.Errorf("workspace after script: %v", names)
+	}
+}
+
+// TestRunScriptFileFailure pins the CI/cron contract: a failing step makes
+// runScriptFile return an error naming the step, which main maps to a
+// non-zero exit.
+func TestRunScriptFileFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.rng")
+	if err := os.WriteFile(path, []byte("gen rmat E 8 100 1\nshow NOPE\nls\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	sh := newShell(&out)
+	err := sh.runScriptFile(path)
+	if err == nil {
+		t.Fatal("failing script returned nil")
+	}
+	if !strings.Contains(err.Error(), "step 2 (line 2)") {
+		t.Errorf("error should name the failed step: %v", err)
+	}
+	if !strings.Contains(out.String(), "skipped after failure") {
+		t.Errorf("rendered output should note skipped steps:\n%s", out.String())
+	}
+	if err := sh.runScriptFile(filepath.Join(t.TempDir(), "missing.rng")); err == nil {
+		t.Error("missing script file returned nil")
+	}
+}
+
+// TestSourceVerbInShell runs the same shipped script through the
+// interactive front-end's source verb.
+func TestSourceVerbInShell(t *testing.T) {
+	out := runScript(t,
+		"source ../../examples/quickstart/analysis.rng",
+		"ls",
+	)
+	if !strings.Contains(out, "steps ok") {
+		t.Fatalf("source output:\n%s", out)
+	}
+	if !strings.Contains(out, "from: tograph G E src dst") {
+		t.Fatalf("sourced bindings should carry provenance:\n%s", out)
+	}
+}

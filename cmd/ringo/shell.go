@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 
@@ -57,6 +58,25 @@ func (s *shell) exec(line string) error {
 	}
 	r.Render(s.out)
 	return nil
+}
+
+// runScriptFile executes a script file as one batch (the -script flag's
+// non-interactive mode) and renders each step as a live session would
+// have. The returned error, if any, names the first failed step and its
+// source line; main turns it into a non-zero exit so scripts compose with
+// CI and cron.
+func (s *shell) runScriptFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	script, err := repl.ParseScript(string(data))
+	if err != nil {
+		return err
+	}
+	sr := s.eng.EvalScript(script)
+	repl.RenderScript(s.out, sr)
+	return sr.Err()
 }
 
 // sortedNames is used by tests to check deterministic listings.

@@ -46,8 +46,15 @@
 // mutation moves the graph's fingerprint and purges its views. The
 // package-level Example below walks the load → query → snapshot loop.
 //
+// Whole analyses batch as scripts — one verb per line, # comments,
+// @echo/@time/@continue directives — executed with per-step results and
+// timings by RunScript here, the shell's source verb, ringo -script for CI
+// and cron, or one POST /sessions/{id}/script round trip holding the
+// session lock once for the whole batch (ExampleRunScript shows the
+// library form).
+//
 // See docs/ARCHITECTURE.md for the package map and data flow,
-// docs/COMMANDS.md for the shell verb reference, DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the reproduction of every table in the
-// paper's evaluation; cmd/ringo-bench regenerates them.
+// docs/COMMANDS.md for the shell verb and script reference, docs/SERVER.md
+// for the HTTP API, and docs/FORMATS.md for every on-disk byte layout;
+// cmd/ringo-bench regenerates the paper's evaluation tables.
 package ringo

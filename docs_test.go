@@ -1,0 +1,73 @@
+package ringo_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docRef matches repo-relative markdown/file references worth checking:
+// docs/*.md pages, root-level UPPERCASE.md files, and shipped example
+// artifacts like examples/quickstart/analysis.rng.
+var docRef = regexp.MustCompile(`(?:docs/[A-Za-z0-9_.-]+\.md|\b[A-Z][A-Z0-9_]*\.md\b|examples/[A-Za-z0-9_/.-]+\.rng)`)
+
+// TestDocReferencesResolve is the link check of the docs tree: every
+// docs/*.md page, root doc file or shipped script referenced from
+// README.md, doc.go or any docs/*.md must exist in the repository. This is
+// what catches a renamed or never-written page that prose still points at
+// (doc.go referenced DESIGN.md and EXPERIMENTS.md for several PRs after
+// they stopped existing).
+func TestDocReferencesResolve(t *testing.T) {
+	sources := []string{"README.md", "doc.go"}
+	pages, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no docs/*.md pages found")
+	}
+	sources = append(sources, pages...)
+
+	for _, src := range sources {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatalf("reading %s: %v", src, err)
+		}
+		for _, ref := range docRef.FindAllString(string(data), -1) {
+			// A page naming itself or a sibling by bare name ("COMMANDS.md
+			// is the verb reference") refers into docs/ when the file lives
+			// there; try both roots.
+			candidates := []string{ref}
+			if !strings.Contains(ref, "/") {
+				candidates = append(candidates, filepath.Join("docs", ref))
+			}
+			found := false
+			for _, c := range candidates {
+				if _, err := os.Stat(c); err == nil {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s references %q, which does not exist", src, ref)
+			}
+		}
+	}
+}
+
+// TestFormatsDocNamesEveryMagic keeps docs/FORMATS.md anchored to the
+// codecs: each on-disk magic string must appear in the page, so adding or
+// renaming a format without documenting its layout fails here.
+func TestFormatsDocNamesEveryMagic(t *testing.T) {
+	data, err := os.ReadFile("docs/FORMATS.md")
+	if err != nil {
+		t.Fatalf("docs/FORMATS.md missing: %v", err)
+	}
+	for _, magic := range []string{"RNGS", "RTBL", "RNGO", "RNGU", "# node "} {
+		if !strings.Contains(string(data), magic) {
+			t.Errorf("docs/FORMATS.md does not mention the %q format", magic)
+		}
+	}
+}

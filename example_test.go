@@ -50,3 +50,36 @@ func Example() {
 	// 2 weak components, largest 700
 	// restored 3 objects: [E G PR]
 }
+
+// ExampleRunScript executes a saved analysis as one batch: the same verbs
+// an interactive session would type, parsed and run in order with
+// per-step results and timings. A failing step stops the run (unless the
+// script declares @continue) and is reported by ScriptResult.Err — the
+// same contract `ringo -script` turns into a non-zero exit.
+func ExampleRunScript() {
+	eng := ringo.NewEngine(nil)
+	sr, err := ringo.RunScript(eng, `
+# build and rank a small graph
+gen rmat E 10 4000 7
+tograph G E src dst
+pagerank PR G
+algo G wcc
+`)
+	if err != nil { // parse errors only; step failures land on sr
+		log.Fatal(err)
+	}
+	if err := sr.Err(); err != nil {
+		log.Fatal(err)
+	}
+	for _, step := range sr.Steps {
+		fmt.Println(step.Result.Message)
+	}
+	fmt.Printf("%d steps ok\n", sr.OK)
+
+	// Output:
+	// E: 4000 rows
+	// G: 702 nodes, 3561 edges
+	// PR: 702 nodes scored
+	// 2 weak components, largest 700
+	// 4 steps ok
+}

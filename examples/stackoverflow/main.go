@@ -12,7 +12,7 @@
 //	S  = ringo.TableFromHashMap(PR, 'User', 'Scr')
 //
 // The module is offline, so a seeded generator with the site's Zipf skew
-// stands in for the real dump (see DESIGN.md).
+// stands in for the real dump (see internal/gen).
 package main
 
 import (

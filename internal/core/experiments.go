@@ -19,7 +19,7 @@ import (
 // synthetic stand-in datasets. Absolute numbers differ from the paper's
 // 80-hyperthread 1TB machine; the shapes the paper argues from (relative
 // operation costs, flat conversion rates, graph smaller than table,
-// footprint < 2× graph) are what EXPERIMENTS.md tracks.
+// footprint < 2× graph) are what the report notes track.
 
 // Table1 reproduces Table 1: the size histogram of the 71 public graphs in
 // the SNAP collection.

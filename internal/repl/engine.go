@@ -69,6 +69,9 @@ type Cache interface {
 type Engine struct {
 	ws    *core.Workspace
 	cache Cache
+	// sourceDepth tracks source-verb nesting so self-sourcing scripts
+	// fail at maxSourceDepth instead of recursing forever.
+	sourceDepth int
 }
 
 // New returns an engine over the given workspace (a fresh one if nil).
@@ -99,8 +102,9 @@ type verb struct {
 	// front-end serving untrusted clients uses this to refuse host
 	// filesystem access while the local shell keeps the verbs.
 	files bool
-	// replaces marks commands that swap out the entire workspace contents
-	// rather than touching individual bindings (currently only restore).
+	// replaces marks commands that may swap out the entire workspace
+	// contents rather than touching individual bindings (restore, and
+	// source — whose script may contain a restore step).
 	replaces bool
 }
 
@@ -133,6 +137,16 @@ var verbs = map[string]verb{
 	"restore":      {run: (*Engine).cmdRestore, mutates: true, files: true, replaces: true},
 	"rm":           {run: (*Engine).cmdRm, mutates: true},
 	"mv":           {run: (*Engine).cmdMv, mutates: true},
+}
+
+// source is registered in an init func, not the literal above: its handler
+// re-enters Eval (each script step is one command), which reads the verbs
+// map, and the compiler rejects that as an initialization cycle in a map
+// literal. Its properties are the union of its possible steps': scripts may
+// mutate, read/write files, and may contain restore — hosts must treat the
+// batch as workspace-replacing.
+func init() {
+	verbs["source"] = verb{run: (*Engine).cmdSource, mutates: true, files: true, replaces: true}
 }
 
 // Verbs returns the names of every command the engine evaluates, sorted.
@@ -207,6 +221,8 @@ const HelpText = `Ringo interactive shell — verbs over named objects.
   save <obj> <file>                        write a table as TSV or a graph as binary
   snapshot <file>                          save the whole workspace as a binary snapshot
   restore <file>                           replace the workspace with a snapshot's contents
+  source <file>                            run a script file (one verb per line, # comments,
+                                           @echo/@time/@continue directives)
   help                                     this text
   quit                                     exit`
 

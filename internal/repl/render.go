@@ -47,6 +47,13 @@ func (r *Result) Render(w io.Writer) {
 		if r.Truncated > 0 {
 			fmt.Fprintf(w, "  ... %d more rows\n", r.Truncated)
 		}
+	case "source":
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "  %2s. %s\n", row[0], row[3])
+		}
+		if r.Message != "" {
+			fmt.Fprintln(w, r.Message)
+		}
 	default:
 		if r.Message == "" {
 			return
@@ -59,5 +66,28 @@ func (r *Result) Render(w io.Writer) {
 			line += " (cached)"
 		}
 		fmt.Fprintln(w, line)
+	}
+}
+
+// RenderScript writes a batch run in the shape a live session would have
+// produced: optionally the echoed command (@echo), the step's rendered
+// result or error, and optionally its wall time (@time). Skipped steps are
+// summarized, not listed — they never ran.
+func RenderScript(w io.Writer, sr *ScriptResult) {
+	for _, st := range sr.Steps {
+		if sr.Echo {
+			fmt.Fprintf(w, "ringo> %s\n", st.Cmd)
+		}
+		if st.Error != "" {
+			fmt.Fprintf(w, "error: %s\n", st.Error)
+		} else if st.Result != nil {
+			st.Result.Render(w)
+		}
+		if sr.Time {
+			fmt.Fprintf(w, "# step %d: %v\n", st.Index+1, time.Duration(st.ElapsedNS).Round(time.Microsecond))
+		}
+	}
+	if sr.Skipped > 0 {
+		fmt.Fprintf(w, "# %d step(s) skipped after failure\n", sr.Skipped)
 	}
 }

@@ -17,32 +17,40 @@ const (
 	JobFailed  = "failed"
 )
 
-// JobView is the externally visible snapshot of an async job.
+// JobView is the externally visible snapshot of an async job. Exactly one
+// of Result (single-command jobs) and ScriptResult (script jobs) is set
+// once the job finishes; for script jobs Cmd is a synthesized
+// "script (N steps)" label so job listings stay light.
 type JobView struct {
-	ID       string       `json:"id"`
-	Session  string       `json:"session"`
-	Cmd      string       `json:"cmd"`
-	State    string       `json:"state"`
-	Result   *repl.Result `json:"result,omitempty"`
-	Error    string       `json:"error,omitempty"`
-	Created  time.Time    `json:"created"`
-	Started  *time.Time   `json:"started,omitempty"`
-	Finished *time.Time   `json:"finished,omitempty"`
+	ID           string             `json:"id"`
+	Session      string             `json:"session"`
+	Cmd          string             `json:"cmd"`
+	State        string             `json:"state"`
+	Result       *repl.Result       `json:"result,omitempty"`
+	ScriptResult *repl.ScriptResult `json:"script_result,omitempty"`
+	Error        string             `json:"error,omitempty"`
+	Created      time.Time          `json:"created"`
+	Started      *time.Time         `json:"started,omitempty"`
+	Finished     *time.Time         `json:"finished,omitempty"`
 }
 
 type job struct {
-	mu       sync.Mutex
-	id       string
-	seq      int
-	sess     *session
-	session  string
-	cmd      string
-	state    string
-	result   *repl.Result
-	err      string
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	mu      sync.Mutex
+	id      string
+	seq     int
+	sess    *session
+	session string
+	cmd     string
+	// script marks a batch job; the worker routes it through
+	// evalScriptOn instead of evalOn and fills scriptResult.
+	script       *repl.Script
+	state        string
+	result       *repl.Result
+	scriptResult *repl.ScriptResult
+	err          string
+	created      time.Time
+	started      time.Time
+	finished     time.Time
 }
 
 func (j *job) snapshot() JobView {
@@ -50,7 +58,7 @@ func (j *job) snapshot() JobView {
 	defer j.mu.Unlock()
 	v := JobView{
 		ID: j.id, Session: j.session, Cmd: j.cmd, State: j.state,
-		Result: j.result, Error: j.err, Created: j.created,
+		Result: j.result, ScriptResult: j.scriptResult, Error: j.err, Created: j.created,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -98,7 +106,9 @@ func newJobRunner(srv *Server, workers int) *jobRunner {
 	return r
 }
 
-func (r *jobRunner) submit(sess *session, cmd string) (*job, error) {
+// submit enqueues a job: a single command when script is nil, a batch
+// otherwise (cmd then carries the display label).
+func (r *jobRunner) submit(sess *session, cmd string, script *repl.Script) (*job, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -111,6 +121,7 @@ func (r *jobRunner) submit(sess *session, cmd string) (*job, error) {
 		sess:    sess,
 		session: sess.id,
 		cmd:     cmd,
+		script:  script,
 		state:   JobQueued,
 		created: time.Now(),
 	}
@@ -219,15 +230,25 @@ func (r *jobRunner) work() {
 		// the session was dropped (even if a same-named one now exists),
 		// the job fails rather than touching the newcomer's workspace.
 		var res *repl.Result
+		var scriptRes *repl.ScriptResult
 		var err error
 		if cur, ok := r.srv.session(j.session); !ok || cur != j.sess {
 			err = fmt.Errorf("session %q was dropped before the job ran", j.session)
+		} else if j.script != nil {
+			scriptRes, err = r.srv.evalScriptOn(j.sess, j.script)
+			// A failed step fails the job, but the partial batch result
+			// stays attached: the poller sees which steps ran and why
+			// execution stopped.
+			if err == nil {
+				err = scriptRes.Err()
+			}
 		} else {
 			res, err = r.srv.evalOn(j.sess, j.cmd)
 		}
 
 		j.mu.Lock()
 		j.finished = time.Now()
+		j.scriptResult = scriptRes
 		if err != nil {
 			j.state = JobFailed
 			j.err = err.Error()

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ringo/internal/repl"
+)
+
+// BenchmarkScriptVsPerQuery measures the tentpole claim behind the /script
+// endpoint: an N-step analysis batched into one request (one HTTP round
+// trip, one session-lock acquisition, one JSON envelope) against the same
+// N steps as individual /query calls. The steps themselves are cheap
+// (result-cached algo queries), so the measured difference is the
+// per-operation overhead batching amortizes.
+func BenchmarkScriptVsPerQuery(b *testing.B) {
+	for _, n := range []int{10, 50} {
+		steps := make([]string, n)
+		for i := range steps {
+			// Alternate so the batch exercises more than one cache entry.
+			if i%2 == 0 {
+				steps[i] = "algo G wcc"
+			} else {
+				steps[i] = "top PR 5"
+			}
+		}
+
+		b.Run(fmt.Sprintf("PerQuery/steps=%d", n), func(b *testing.B) {
+			ts, client := benchSession(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, cmd := range steps {
+					benchPost(b, client, ts.URL+"/sessions/bench/query", map[string]string{"cmd": cmd})
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("Script/steps=%d", n), func(b *testing.B) {
+			ts, client := benchSession(b)
+			script := strings.Join(steps, "\n")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchPost(b, client, ts.URL+"/sessions/bench/script", map[string]string{"script": script})
+			}
+		})
+	}
+}
+
+// benchSession builds a server with a small ranked graph in session
+// "bench", so every benchmark iteration runs read-only cached analytics.
+func benchSession(b *testing.B) (*httptest.Server, *http.Client) {
+	b.Helper()
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	b.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	if _, err := srv.CreateSession("bench"); err != nil {
+		b.Fatal(err)
+	}
+	setup, err := repl.ParseScript("gen rmat E 10 2000 7\ntograph G E src dst\npagerank PR G")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr, err := srv.EvalScript("bench", setup)
+	if err != nil || sr.Err() != nil {
+		b.Fatalf("setup: %v / %v", err, sr.Err())
+	}
+	return ts, ts.Client()
+}
+
+func benchPost(b *testing.B, client *http.Client, url string, body map[string]string) {
+	b.Helper()
+	payload, _ := json.Marshal(body)
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+}

@@ -19,12 +19,20 @@
 //	GET    /sessions/{id}           one session's objects
 //	DELETE /sessions/{id}           drop a session
 //	POST   /sessions/{id}/query     {"cmd": "..."} -> repl.Result (synchronous)
-//	POST   /sessions/{id}/jobs      {"cmd": "..."} -> 202 + job id (async)
+//	POST   /sessions/{id}/script    {"script": "..."} -> per-step results, one lock acquisition
+//	POST   /sessions/{id}/jobs      {"cmd": "..."} or {"script": "..."} -> 202 + job id (async)
 //	POST   /sessions/{id}/snapshot  {"path": "..."} write the workspace to a file
 //	POST   /sessions/{id}/restore   {"path": "..."} replace the workspace from a file
 //	GET    /jobs/{id}               job status and result
 //	GET    /jobs                    list jobs (?session=id filters)
 //	GET    /stats                   sessions, jobs, cache hits/misses
+//
+// The /script endpoint is the batching lever the paper's interactive model
+// implies: an N-step analysis runs under a single session-lock acquisition
+// (shared if every step is read-only, exclusive otherwise) and one HTTP
+// round trip, with per-step results and wall times in the response.
+// docs/SERVER.md is the full API reference; a drift test keeps it in sync
+// with the routes registered here.
 //
 // The snapshot and restore endpoints touch the host filesystem and are
 // therefore gated on Config.AllowFileIO, like the load/save verbs. Restore
@@ -148,18 +156,31 @@ func New(cfg Config) *Server {
 	}
 	s.jobs = newJobRunner(s, workers)
 
-	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
-	s.mux.HandleFunc("GET /sessions", s.handleListSessions)
-	s.mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
-	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
-	s.mux.HandleFunc("POST /sessions/{id}/query", s.handleQuery)
-	s.mux.HandleFunc("POST /sessions/{id}/jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("POST /sessions/{id}/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("POST /sessions/{id}/restore", s.handleRestore)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	for pattern, handler := range s.routeTable() {
+		s.mux.HandleFunc(pattern, handler)
+	}
 	return s
+}
+
+// routeTable is the single source of truth for the HTTP API surface: New
+// registers every entry on the mux, and the drift test in
+// server_docs_test.go checks docs/SERVER.md documents exactly these
+// patterns.
+func (s *Server) routeTable() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"POST /sessions":               s.handleCreateSession,
+		"GET /sessions":                s.handleListSessions,
+		"GET /sessions/{id}":           s.handleGetSession,
+		"DELETE /sessions/{id}":        s.handleDeleteSession,
+		"POST /sessions/{id}/query":    s.handleQuery,
+		"POST /sessions/{id}/script":   s.handleScript,
+		"POST /sessions/{id}/jobs":     s.handleSubmitJob,
+		"POST /sessions/{id}/snapshot": s.handleSnapshot,
+		"POST /sessions/{id}/restore":  s.handleRestore,
+		"GET /jobs/{id}":               s.handleGetJob,
+		"GET /jobs":                    s.handleListJobs,
+		"GET /stats":                   s.handleStats,
+	}
 }
 
 // ServeHTTP checks the bearer token (when configured) and dispatches to
@@ -355,7 +376,7 @@ func (s *Server) Eval(sessionID, cmd string) (*repl.Result, error) {
 // client can never take down every analyst's in-memory session.
 func (s *Server) evalOn(sess *session, cmd string) (res *repl.Result, err error) {
 	if !s.allowFiles && repl.TouchesFiles(cmd) {
-		return nil, fmt.Errorf("file access is disabled on this server (load, loadgraph, save, snapshot, restore)")
+		return nil, fmt.Errorf("file access is disabled on this server (load, loadgraph, save, snapshot, restore, source)")
 	}
 	readOnly := repl.ReadOnly(cmd)
 	if readOnly {
@@ -384,6 +405,63 @@ func (s *Server) evalOn(sess *session, cmd string) (res *repl.Result, err error)
 	return res, err
 }
 
+// EvalScript runs a parsed script in a session as one batch: the session
+// lock is acquired once for the whole run — shared when every step is
+// read-only per the verb table, exclusive otherwise — so an N-step script
+// pays one lock round trip instead of N. Per-step results, errors and wall
+// times come back in the ScriptResult; a failed step is not an error here
+// (the batch ran), callers check ScriptResult.Err.
+func (s *Server) EvalScript(sessionID string, script *repl.Script) (*repl.ScriptResult, error) {
+	sess, ok := s.session(sessionID)
+	if !ok {
+		return nil, errNoSession(sessionID)
+	}
+	return s.evalScriptOn(sess, script)
+}
+
+// evalScriptOn is the script counterpart of evalOn, shared by the
+// synchronous /script endpoint and async script jobs. The file-IO gate is
+// enforced before anything runs, naming the offending step, so a gated
+// script fails atomically instead of stopping halfway.
+func (s *Server) evalScriptOn(sess *session, script *repl.Script) (res *repl.ScriptResult, err error) {
+	if !s.allowFiles {
+		if i := script.TouchesFiles(); i >= 0 {
+			st := script.Steps[i]
+			return nil, errForbidden{fmt.Errorf("file access is disabled on this server: step %d (line %d) %q needs it (load, loadgraph, save, snapshot, restore, source)",
+				i+1, st.LineNo, st.Cmd)}
+		}
+	}
+	readOnly := script.ReadOnly()
+	if readOnly {
+		sess.mu.RLock()
+		defer sess.mu.RUnlock()
+	} else {
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, errInternal{fmt.Errorf("internal error evaluating script: %v", p)}
+		}
+	}()
+	if s.testHookQueryBarrier != nil {
+		s.testHookQueryBarrier(sess.id, readOnly)
+	}
+	res = sess.eng.EvalScript(script)
+	// Purge the session's result-cache entries if a workspace-replacing
+	// step actually executed successfully, mirroring evalOn's handling of
+	// a single restore command.
+	if s.cache != nil && sess.cachePrefix != "" {
+		for _, st := range res.Steps {
+			if st.Error == "" && repl.ReplacesWorkspace(st.Cmd) {
+				s.cache.DeletePrefix(sess.cachePrefix)
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
 type errNoSession string
 
 func (e errNoSession) Error() string { return fmt.Sprintf("no session %q", string(e)) }
@@ -393,6 +471,12 @@ func (e errNoSession) Error() string { return fmt.Sprintf("no session %q", strin
 type errInternal struct{ err error }
 
 func (e errInternal) Error() string { return e.err.Error() }
+
+// errForbidden marks a request refused by policy (the file-IO gate) so the
+// HTTP layer reports 403, not 400.
+type errForbidden struct{ err error }
+
+func (e errForbidden) Error() string { return e.err.Error() }
 
 // --- HTTP plumbing ---
 
@@ -521,6 +605,65 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// parseScriptBody validates script text from a request body into
+// executable steps — the one place the sync /script endpoint and async
+// script jobs share their parse rules.
+func parseScriptBody(text string) (*repl.Script, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, fmt.Errorf("empty script")
+	}
+	script, err := repl.ParseScript(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(script.Steps) == 0 {
+		return nil, fmt.Errorf("script has no executable steps")
+	}
+	return script, nil
+}
+
+// readScript decodes the {"script": "..."} body of the /script endpoint.
+func readScript(w http.ResponseWriter, r *http.Request) (*repl.Script, bool) {
+	var req struct {
+		Script string `json:"script"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return nil, false
+	}
+	script, err := parseScriptBody(req.Script)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return script, true
+}
+
+func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	script, ok := readScript(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.EvalScript(id, script)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch err.(type) {
+		case errNoSession:
+			status = http.StatusNotFound
+		case errInternal:
+			status = http.StatusInternalServerError
+		case errForbidden:
+			status = http.StatusForbidden
+		}
+		writeError(w, status, err)
+		return
+	}
+	// A failed step is still a 200: the batch executed, and the per-step
+	// results say exactly which step failed and what ran before it.
+	writeJSON(w, http.StatusOK, res)
+}
+
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess, ok := s.session(id)
@@ -528,11 +671,34 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errNoSession(id))
 		return
 	}
-	cmd, ok := readCmd(w, r)
-	if !ok {
+	// A job body carries either one command or a whole script batch.
+	var req struct {
+		Cmd    string `json:"cmd"`
+		Script string `json:"script"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	job, err := s.jobs.submit(sess, cmd)
+	cmd := strings.TrimSpace(req.Cmd)
+	var script *repl.Script
+	switch {
+	case cmd != "" && strings.TrimSpace(req.Script) != "":
+		writeError(w, http.StatusBadRequest, fmt.Errorf("body must carry cmd or script, not both"))
+		return
+	case cmd != "":
+	case strings.TrimSpace(req.Script) != "":
+		var err error
+		if script, err = parseScriptBody(req.Script); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		cmd = fmt.Sprintf("script (%d steps)", len(script.Steps))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty cmd"))
+		return
+	}
+	job, err := s.jobs.submit(sess, cmd, script)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return

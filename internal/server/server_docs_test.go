@@ -1,0 +1,48 @@
+package server
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docRouteHeading matches the "### METHOD /path" endpoint headings of
+// docs/SERVER.md; the heading text must equal a registered mux pattern.
+var docRouteHeading = regexp.MustCompile(`^### (GET|POST|PUT|DELETE|PATCH) (/\S*)$`)
+
+// TestServerDocCoversEveryRoute is the drift gate for docs/SERVER.md:
+// every route registered on the server's mux must have a matching
+// "### METHOD /path" heading, and every documented endpoint must still be
+// registered. Adding an endpoint without documenting it — or documenting
+// one that no longer exists — fails here.
+func TestServerDocCoversEveryRoute(t *testing.T) {
+	data, err := os.ReadFile("../../docs/SERVER.md")
+	if err != nil {
+		t.Fatalf("docs/SERVER.md missing: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := docRouteHeading.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			documented[m[1]+" "+m[2]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/SERVER.md documents no endpoints (want '### METHOD /path' headings)")
+	}
+
+	srv := New(Config{CacheSize: -1, Workers: 1})
+	defer srv.Close()
+	registered := srv.routeTable()
+
+	for pattern := range registered {
+		if !documented[pattern] {
+			t.Errorf("route %q is not documented in docs/SERVER.md (add a %q heading)", pattern, "### "+pattern)
+		}
+	}
+	for pattern := range documented {
+		if _, ok := registered[pattern]; !ok {
+			t.Errorf("docs/SERVER.md documents %q, which is not a registered route", pattern)
+		}
+	}
+}

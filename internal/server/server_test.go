@@ -278,7 +278,7 @@ func TestCloseFailsQueuedJobsWithoutRunningThem(t *testing.T) {
 	}
 	// New submissions are refused.
 	sess, _ := srv.session("s")
-	if _, err := srv.jobs.submit(sess, "ls"); err == nil {
+	if _, err := srv.jobs.submit(sess, "ls", nil); err == nil {
 		t.Fatal("submit after close succeeded")
 	}
 }

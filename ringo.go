@@ -35,6 +35,16 @@ type (
 	Server = server.Server
 	// ServerConfig sizes a Server (cache entries, job workers, session cap).
 	ServerConfig = server.Config
+	// Script is a parsed command batch: one verb per line, # comments,
+	// @echo/@time/@continue directives (see docs/COMMANDS.md).
+	Script = repl.Script
+	// ScriptStep is one executable command of a Script with its source line.
+	ScriptStep = repl.Step
+	// ScriptResult aggregates a batch run: per-step results, errors and
+	// wall times plus ok/failed/skipped accounting.
+	ScriptResult = repl.ScriptResult
+	// ScriptStepResult is one executed step's outcome inside a ScriptResult.
+	ScriptStepResult = repl.StepResult
 )
 
 // NewWorkspace returns an empty session workspace.
@@ -46,6 +56,28 @@ func NewEngine(ws *Workspace) *Engine { return repl.New(ws) }
 // NewServer returns a multi-session analytics server ready to serve HTTP;
 // Close it when done.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// ParseScript parses script text (one verb per line, # comments,
+// @echo/@time/@continue directives) into an executable Script.
+func ParseScript(src string) (*Script, error) { return repl.ParseScript(src) }
+
+// RunScript parses and executes script text against an engine's workspace
+// in one batch — the library form of the shell's `source` verb and the
+// server's POST /sessions/{id}/script. The error reports parse failures
+// only; a failing step is recorded on its ScriptResult step (summarized by
+// ScriptResult.Err) with every earlier step's effect kept. See
+// ExampleRunScript.
+func RunScript(e *Engine, src string) (*ScriptResult, error) {
+	s, err := repl.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.EvalScript(s), nil
+}
+
+// RenderScript writes a script run as the classic shell text, honoring the
+// script's @echo and @time directives.
+func RenderScript(w io.Writer, sr *ScriptResult) { repl.RenderScript(w, sr) }
 
 // Core data types, re-exported from the engine.
 type (
@@ -459,7 +491,7 @@ func GetRandomWalk(g *Graph, start int64, length int, seed int64) []int64 {
 // TopK returns the k highest-scored nodes, descending.
 func TopK(scores map[int64]float64, k int) []Scored { return algo.TopK(scores, k) }
 
-// Generators (offline stand-ins for the paper's datasets; see DESIGN.md).
+// Generators (offline stand-ins for the paper's datasets; see internal/gen).
 
 // GenRMATTable generates an R-MAT edge table with power-law degree skew
 // (2^scale node id space, nEdges rows).

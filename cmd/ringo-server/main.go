@@ -24,13 +24,22 @@
 // binary workspace snapshots (POST /sessions/{id}/snapshot and /restore),
 // and -restore <file> warm-starts a restarted server from such a snapshot
 // before the listener comes up.
+//
+// Observability (docs/OBSERVABILITY.md): GET /metrics serves the whole
+// registry in Prometheus text format; every request logs through log/slog
+// (-log-format text|json) with an X-Request-ID correlating response and
+// record; -slow-query 250ms adds a structured record for any verb at or
+// above the threshold; -debug-addr 127.0.0.1:6060 brings up net/http/pprof
+// on a separate listener, never on the API address.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 
@@ -47,7 +56,21 @@ func main() {
 	token := flag.String("token", "", "require 'Authorization: Bearer <token>' on every request (empty = no auth)")
 	restorePath := flag.String("restore", "", "warm start: restore this workspace snapshot into a session before serving")
 	restoreSession := flag.String("restore-session", "main", "session id the -restore snapshot is loaded into")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	slowQuery := flag.Duration("slow-query", 0, "log any verb or script step at or above this duration (0 disables), e.g. 250ms")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = no profiling listener)")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		log.Fatalf("ringo-server: -log-format must be text or json, got %q", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
 		CacheSize:     *cacheSize,
@@ -56,8 +79,28 @@ func main() {
 		MaxSessions:   *maxSessions,
 		AllowFileIO:   *allowFileIO,
 		AuthToken:     *token,
+		Logger:        logger,
+		SlowQuery:     *slowQuery,
 	})
 	defer srv.Close()
+
+	// Profiling stays off the public listener: pprof exposes heap contents
+	// and stack traces, so it only comes up on its own address, which an
+	// operator can bind to localhost while the API faces the network.
+	if *debugAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("ringo-server debug listener (pprof) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("ringo-server: debug listener: %v", err)
+			}
+		}()
+	}
 
 	if *restorePath != "" {
 		if err := srv.WarmStart(*restoreSession, *restorePath); err != nil {

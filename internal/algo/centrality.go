@@ -192,6 +192,7 @@ func ApproxDiameter(g *graph.Directed, samples int, seed int64) int {
 
 // ApproxDiameterView is ApproxDiameter over a prebuilt CSR view.
 func ApproxDiameterView(v *graph.View, samples int, seed int64) int {
+	defer report(timed("diameter"))
 	n := v.NumNodes()
 	if n == 0 {
 		return 0

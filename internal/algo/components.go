@@ -21,6 +21,7 @@ func WCC(g *graph.Directed) Components {
 
 // WCCView is WCC over a prebuilt CSR view.
 func WCCView(v *graph.View) Components {
+	defer report(timed("wcc"))
 	n := v.NumNodes()
 	parent := make([]int32, n)
 	for i := range parent {
@@ -57,6 +58,7 @@ func SCC(g *graph.Directed) Components {
 
 // SCCView is SCC over a prebuilt CSR view.
 func SCCView(v *graph.View) Components {
+	defer report(timed("scc"))
 	n := v.NumNodes()
 	const unvisited = -1
 	index := make([]int32, n)

@@ -114,6 +114,7 @@ func KCore(g *graph.Undirected, k int) *graph.Undirected {
 // without materializing the subgraph. It is what the repl's "algo 3core"
 // verb prints, so a cached view answers it with no graph construction.
 func KCoreStatsView(v *graph.UView, k int) (nodes int, edges int64) {
+	defer report(timed("kcore"))
 	core := coreNumbersFlat(v)
 	for u := 0; u < v.NumNodes(); u++ {
 		if int(core[u]) < k {

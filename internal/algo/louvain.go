@@ -16,6 +16,7 @@ func Louvain(g *graph.Undirected, maxPasses int) (map[int64]int, float64) {
 
 // LouvainView is Louvain over a prebuilt CSR view.
 func LouvainView(d *graph.UView, maxPasses int) (map[int64]int, float64) {
+	defer report(timed("louvain"))
 	n := d.NumNodes()
 	if n == 0 {
 		return map[int64]int{}, 0

@@ -29,6 +29,7 @@ func CountMotifs(g *graph.Directed) MotifCounts {
 
 // CountMotifsView is CountMotifs over a prebuilt CSR view.
 func CountMotifsView(v *graph.View) MotifCounts {
+	defer report(timed("motifs"))
 	n := v.NumNodes()
 
 	// Undirected adjacency for triangle/wedge enumeration, self-loops

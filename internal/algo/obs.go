@@ -1,0 +1,47 @@
+package algo
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// timer is the process-global per-algorithm timing hook. The algo package
+// stays a leaf — it knows nothing about registries or exposition — and a
+// host that wants kernel timings (the HTTP server publishes them as
+// ringo_algo_duration_seconds on /metrics) installs a recording function.
+// Nil (the default) costs one atomic load per instrumented call.
+var timer atomic.Pointer[func(name string, elapsed time.Duration)]
+
+// SetTimer installs fn as the per-algorithm timing hook: every
+// instrumented View entry point reports its wall time under a stable
+// algorithm name. Pass nil to disable. Safe to call concurrently with
+// running algorithms; fn must be safe for concurrent use.
+func SetTimer(fn func(name string, elapsed time.Duration)) {
+	if fn == nil {
+		timer.Store(nil)
+		return
+	}
+	timer.Store(&fn)
+}
+
+// timed starts timing one named kernel invocation; the returned func
+// reports to the hook (use with defer). With no hook installed the cost
+// is one atomic pointer load and a nil func return.
+func timed(name string) func() {
+	p := timer.Load()
+	if p == nil {
+		return nil
+	}
+	start := time.Now()
+	return func() { (*p)(name, time.Since(start)) }
+}
+
+// report invokes a timed() closure, tolerating the nil fast path — so
+// call sites stay a two-liner:
+//
+//	defer report(timed("pagerank"))
+func report(done func()) {
+	if done != nil {
+		done()
+	}
+}

@@ -22,6 +22,7 @@ func PageRank(g *graph.Directed, damping float64, iters int) map[int64]float64 {
 
 // PageRankView is PageRank over a prebuilt CSR view.
 func PageRankView(v *graph.View, damping float64, iters int) map[int64]float64 {
+	defer report(timed("pagerank"))
 	return scoresToMap(v.IDs(), pageRankFlat(v, damping, iters, true))
 }
 

@@ -20,6 +20,7 @@ func BFSParallel(g *graph.Directed, src int64, dir EdgeDir) map[int64]int {
 
 // BFSParallelView is BFSParallel over a prebuilt CSR view.
 func BFSParallelView(v *graph.View, src int64, dir EdgeDir) map[int64]int {
+	defer report(timed("parbfs"))
 	s, ok := v.Index(src)
 	if !ok {
 		return nil

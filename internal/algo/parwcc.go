@@ -17,6 +17,7 @@ func WCCParallel(g *graph.Directed) Components {
 
 // WCCParallelView is WCCParallel over a prebuilt CSR view.
 func WCCParallelView(v *graph.View) Components {
+	defer report(timed("parwcc"))
 	n := v.NumNodes()
 	label := make([]int32, n)
 	for i := range label {

@@ -16,6 +16,7 @@ func ArticulationPoints(g *graph.Undirected) []int64 {
 
 // ArticulationPointsView is ArticulationPoints over a prebuilt CSR view.
 func ArticulationPointsView(v *graph.UView) []int64 {
+	defer report(timed("cuts"))
 	n := v.NumNodes()
 	disc := make([]int32, n)
 	low := make([]int32, n)
@@ -95,6 +96,7 @@ func Bridges(g *graph.Undirected) [][2]int64 {
 
 // BridgesView is Bridges over a prebuilt CSR view.
 func BridgesView(v *graph.UView) [][2]int64 {
+	defer report(timed("bridges"))
 	n := v.NumNodes()
 	disc := make([]int32, n)
 	low := make([]int32, n)
@@ -177,6 +179,7 @@ func TopoSort(g *graph.Directed) ([]int64, error) {
 
 // TopoSortView is TopoSort over a prebuilt CSR view.
 func TopoSortView(v *graph.View) ([]int64, error) {
+	defer report(timed("toposort"))
 	n := v.NumNodes()
 	indeg := make([]int32, n)
 	for u := 0; u < n; u++ {

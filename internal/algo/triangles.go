@@ -16,6 +16,7 @@ func Triangles(g *graph.Undirected) int64 {
 
 // TrianglesView is Triangles over a prebuilt CSR view.
 func TrianglesView(v *graph.UView) int64 {
+	defer report(timed("triangles"))
 	return par.SumInt(v.NumNodes(), func(lo, hi int) int64 {
 		var count int64
 		for u := lo; u < hi; u++ {
@@ -150,6 +151,7 @@ func ClusteringCoefficient(g *graph.Undirected) float64 {
 // ClusteringCoefficientView is ClusteringCoefficient over a prebuilt CSR
 // view.
 func ClusteringCoefficientView(v *graph.UView) float64 {
+	defer report(timed("clustering"))
 	n := v.NumNodes()
 	if n == 0 {
 		return 0

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent hammers one registry from parallel goroutines —
+// half of them looking the metrics up by name per operation, the way hot
+// paths do — and asserts exact totals: atomics may not lose updates, and
+// register-or-get must always converge on the same instances. Run under
+// -race in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 5000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if g%2 == 0 {
+					// Handle-free use: look up per operation.
+					reg.Counter("hammer_total", "h").Inc()
+					reg.Histogram("hammer_seconds", "h").Observe(time.Duration(i%1000) * time.Microsecond)
+					reg.Gauge("hammer_gauge", "h").Add(1)
+				} else {
+					c := reg.Counter("hammer_total", "h")
+					h := reg.Histogram("hammer_seconds", "h")
+					ga := reg.Gauge("hammer_gauge", "h")
+					c.Inc()
+					h.Observe(time.Duration(i%1000) * time.Microsecond)
+					ga.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const want = goroutines * perG
+	if got := reg.Counter("hammer_total", "h").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := reg.Gauge("hammer_gauge", "h").Value(); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	h := reg.Histogram("hammer_seconds", "h")
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	// Bucket counts must be non-negative and sum to the total; the
+	// cumulative sequence must be monotone (trivially true of partial sums
+	// of non-negative counts, but this is the invariant /metrics exposes).
+	counts, total := h.snapshot()
+	if total != want {
+		t.Errorf("bucket sum = %d, want %d", total, want)
+	}
+	var cum, prev uint64
+	for i, c := range counts {
+		cum += c
+		if cum < prev {
+			t.Errorf("cumulative bucket %d decreased: %d < %d", i, cum, prev)
+		}
+		prev = cum
+	}
+}
+
+// TestHistogramQuantiles checks the percentile extraction lands inside the
+// right log₂ bucket.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations at ~1ms, 10 slow at ~1s.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	if p50 := h.Quantile(0.50); p50 < 512*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 512*time.Millisecond || p99 > 2*time.Second {
+		t.Errorf("p99 = %v, want ~1s", p99)
+	}
+	if h.Sum() != 90*time.Millisecond+10*time.Second {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11}, {-5, 0}}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every value must be ≤ its bucket's inclusive upper bound.
+	for _, ns := range []int64{0, 1, 7, 1000, 123456, 1 << 40} {
+		i := bucketIndex(ns)
+		if uint64(ns) > bucketUpperNS(i) {
+			t.Errorf("value %d above bucket %d upper bound %d", ns, i, bucketUpperNS(i))
+		}
+	}
+}
+
+func TestCounterAndGaugeFuncs(t *testing.T) {
+	reg := NewRegistry()
+	n := 41.0
+	reg.CounterFunc("fn_total", "h", func() float64 { n++; return n })
+	if v, ok := reg.Value("fn_total"); !ok || v != 42 {
+		t.Errorf("Value(fn_total) = %v, %v", v, ok)
+	}
+	reg.GaugeFunc("fn_gauge", "h", func() float64 { return 7 }, L("x", "y"))
+	if v, ok := reg.Value("fn_gauge", L("x", "y")); !ok || v != 7 {
+		t.Errorf("Value(fn_gauge{x=y}) = %v, %v", v, ok)
+	}
+	if _, ok := reg.Value("fn_gauge"); ok {
+		t.Error("unlabeled series should not exist")
+	}
+	if _, ok := reg.Value("nope"); ok {
+		t.Error("missing family should not resolve")
+	}
+}
+
+func TestSeriesAndLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("verbs_total", "h", L("verb", "pagerank")).Add(3)
+	reg.Counter("verbs_total", "h", L("verb", "ls")).Add(1)
+	// Label order must not mint a new series.
+	reg.Counter("multi_total", "h", L("a", "1"), L("b", "2")).Inc()
+	reg.Counter("multi_total", "h", L("b", "2"), L("a", "1")).Inc()
+
+	sv := reg.Series("verbs_total")
+	if len(sv) != 2 {
+		t.Fatalf("got %d series, want 2", len(sv))
+	}
+	if sv[0].Get("verb") != "ls" || sv[0].Value != 1 {
+		t.Errorf("series[0] = %+v", sv[0])
+	}
+	if sv[1].Get("verb") != "pagerank" || sv[1].Value != 3 {
+		t.Errorf("series[1] = %+v", sv[1])
+	}
+	if v, _ := reg.Value("multi_total", L("a", "1"), L("b", "2")); v != 2 {
+		t.Errorf("label order created distinct series: %v", v)
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	reg.Gauge("x_total", "h")
+}
+
+// TestWritePrometheus validates the exposition end to end with a strict
+// line-level parse: every sample belongs to an announced family, # TYPE
+// and # HELP appear exactly once per family, no series repeats, histogram
+// buckets are cumulative and consistent with _count.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("req_total", "Completed requests.", L("route", "GET /x"), L("class", "2xx")).Add(5)
+	reg.Counter("req_total", "Completed requests.", L("route", "GET /x"), L("class", "5xx")).Add(1)
+	reg.Gauge("inflight", "In-flight requests.").Set(2)
+	reg.GaugeFunc("heap_bytes", "Heap bytes.", func() float64 { return 123456 })
+	h := reg.Histogram("latency_seconds", `Latency with "quotes" and \slash.`, L("verb", "pagerank"))
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	// An empty histogram series must still expose +Inf/sum/count.
+	reg.Histogram("latency_seconds", "", L("verb", "never"))
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	typeOf := map[string]string{}
+	helpSeen := map[string]int{}
+	seen := map[string]bool{}
+	bucketCum := map[string]uint64{} // series (sans le) -> last cumulative value
+	var lineNo int
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		lineNo++
+		if line == "" {
+			t.Fatalf("line %d: blank line in exposition", lineNo)
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			helpSeen[name]++
+			if helpSeen[name] > 1 {
+				t.Errorf("duplicate # HELP for %s", name)
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			if _, dup := typeOf[name]; dup {
+				t.Errorf("duplicate # TYPE for %s", name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Errorf("bad type %q for %s", typ, name)
+			}
+			typeOf[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
+		}
+		// Sample line: name{labels} value — label values may contain
+		// spaces, so split after the closing brace when labels are present.
+		var key, valStr string
+		if i := strings.Index(line, "} "); strings.Contains(line, "{") && i >= 0 {
+			key, valStr = line[:i+1], line[i+2:]
+		} else if k, v, ok := strings.Cut(line, " "); ok {
+			key, valStr = k, v
+		} else {
+			t.Fatalf("line %d: malformed sample %q", lineNo, line)
+		}
+		if seen[key] {
+			t.Errorf("duplicate series %q", key)
+		}
+		seen[key] = true
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("line %d: unbalanced labels in %q", lineNo, key)
+			}
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typeOf[name]; !ok {
+			if _, ok := typeOf[base]; !ok {
+				t.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, line)
+			}
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			v, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket value %q: %v", lineNo, valStr, err)
+			}
+			// Strip the le label (always last) to key the series.
+			sansLE := key[:strings.LastIndex(key, ",le=")] + "}"
+			if !strings.Contains(key, ",le=") {
+				sansLE = name // unlabeled histogram
+			}
+			if v < bucketCum[sansLE] {
+				t.Errorf("line %d: bucket cumulative decreased for %s: %d < %d", lineNo, sansLE, v, bucketCum[sansLE])
+			}
+			bucketCum[sansLE] = v
+		} else if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+			t.Fatalf("line %d: value %q: %v", lineNo, valStr, err)
+		}
+	}
+
+	for _, want := range []string{
+		`req_total{class="2xx",route="GET /x"} 5`,
+		`req_total{class="5xx",route="GET /x"} 1`,
+		"inflight 2",
+		"heap_bytes 123456",
+		`latency_seconds_count{verb="pagerank"} 100`,
+		`latency_seconds_bucket{verb="never",le="+Inf"} 0`,
+		`latency_seconds_count{verb="never"} 0`,
+		`"quotes"`, // quotes are legal in HELP text, unescaped
+		`\\slash`,  // backslashes are escaped in HELP text
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if typeOf["latency_seconds"] != "histogram" {
+		t.Errorf("latency_seconds type = %q", typeOf["latency_seconds"])
+	}
+}
+
+// TestWritePrometheusDeterministic pins the ordering contract: two writes
+// of a quiesced registry are byte-identical.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 10; i++ {
+		reg.Counter("c_total", "h", L("i", fmt.Sprint(i))).Inc()
+	}
+	var a, b bytes.Buffer
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("exposition is not deterministic")
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled so the package stays dependency-free:
+//
+//	# HELP ringo_http_requests_total Completed HTTP requests.
+//	# TYPE ringo_http_requests_total counter
+//	ringo_http_requests_total{class="2xx",route="GET /stats"} 12
+//
+// Families are emitted in name order, series in canonical label order, so
+// output is deterministic for a quiesced registry. Histogram families are
+// recorded internally in nanoseconds and exposed in seconds — cumulative
+// `_bucket{le="..."}` lines at the log₂ bucket bounds (trailing empty
+// buckets elided), then `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	families := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		families = append(families, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	for _, f := range families {
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		ordered = append(ordered, f.series[k])
+	}
+	f.mu.RUnlock()
+
+	if len(ordered) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+		return err
+	}
+	for _, s := range ordered {
+		var err error
+		if f.typ == histogramType {
+			err = writeHistogram(w, f.name, s)
+		} else {
+			_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(s.labels), formatValue(s.value()))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits one histogram series: cumulative buckets in
+// seconds, +Inf, sum, count. The bucket counts are read once; total is
+// their sum so the emitted series is internally consistent even while
+// observers race the scrape.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	counts, total := s.h.snapshot()
+	last := 0
+	for i, c := range counts {
+		if c != 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		le := strconv.FormatFloat(float64(bucketUpperNS(i))/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(append(s.labels, Label{Key: "le", Value: le})), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(append(s.labels, Label{Key: "le", Value: "+Inf"})), total); err != nil {
+		return err
+	}
+	sumSec := float64(s.h.sum.Load()) / 1e9
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, formatLabels(s.labels), formatValue(sumSec)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(s.labels), total)
+	return err
+}
+
+// formatLabels renders {k="v",...} (empty string for no labels). The
+// caller passes labels already sorted except for a trailing "le", which
+// Prometheus conventionally keeps last anyway.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value: integers without an exponent or
+// decimal point (the common case for counters), everything else in Go's
+// shortest-round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -28,6 +28,7 @@ import (
 	"ringo/internal/core"
 	"ringo/internal/gen"
 	"ringo/internal/graph"
+	"ringo/internal/obs"
 	"ringo/internal/table"
 )
 
@@ -69,6 +70,13 @@ type Cache interface {
 type Engine struct {
 	ws    *core.Workspace
 	cache Cache
+	// metrics is the engine's own per-verb registry: call/error counters
+	// and latency histograms recorded by every Eval, rendered by the
+	// stats verb. Always present; see obs.go.
+	metrics *obs.Registry
+	// tel is the host's observability wiring (shared registry, slow-query
+	// log); the zero value disables it.
+	tel Telemetry
 	// sourceDepth tracks source-verb nesting so self-sourcing scripts
 	// fail at maxSourceDepth instead of recursing forever.
 	sourceDepth int
@@ -79,7 +87,7 @@ func New(ws *core.Workspace) *Engine {
 	if ws == nil {
 		ws = core.NewWorkspace()
 	}
-	return &Engine{ws: ws}
+	return &Engine{ws: ws, metrics: obs.NewRegistry()}
 }
 
 // SetCache installs a result cache (nil disables caching).
@@ -132,11 +140,14 @@ var verbs = map[string]verb{
 	"algo":         {run: (*Engine).cmdAlgo},
 	"top":          {run: (*Engine).cmdTop},
 	"show":         {run: (*Engine).cmdShow},
-	"save":         {run: (*Engine).cmdSave, files: true},
-	"snapshot":     {run: (*Engine).cmdSnapshot, files: true},
-	"restore":      {run: (*Engine).cmdRestore, mutates: true, files: true, replaces: true},
-	"rm":           {run: (*Engine).cmdRm, mutates: true},
-	"mv":           {run: (*Engine).cmdMv, mutates: true},
+	"stats": {run: func(e *Engine, r *Result, _ []string) error {
+		return e.cmdStats(r)
+	}},
+	"save":     {run: (*Engine).cmdSave, files: true},
+	"snapshot": {run: (*Engine).cmdSnapshot, files: true},
+	"restore":  {run: (*Engine).cmdRestore, mutates: true, files: true, replaces: true},
+	"rm":       {run: (*Engine).cmdRm, mutates: true},
+	"mv":       {run: (*Engine).cmdMv, mutates: true},
 }
 
 // source is registered in an init func, not the literal above: its handler
@@ -217,6 +228,7 @@ const HelpText = `Ringo interactive shell — verbs over named objects.
   rm <name>                                delete a workspace object
   mv <old> <new>                           rename a workspace object
   ls                                       list workspace objects
+  stats                                    per-verb call counts and latency percentiles
   show <tbl> [rows]                        print the first rows of a table
   save <obj> <file>                        write a table as TSV or a graph as binary
   snapshot <file>                          save the whole workspace as a binary snapshot
@@ -242,7 +254,10 @@ func (e *Engine) Eval(line string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown command %q (try help)", cmd)
 	}
-	if err := v.run(e, r, args); err != nil {
+	start := time.Now()
+	err := v.run(e, r, args)
+	e.observe(cmd, args, time.Since(start), err)
+	if err != nil {
 		return nil, err
 	}
 	return r, nil

@@ -1,0 +1,126 @@
+package repl
+
+import (
+	"log/slog"
+	"strconv"
+	"strings"
+	"time"
+
+	"ringo/internal/obs"
+)
+
+// Metric families the engine records, one series per verb (label
+// verb=<name>). Every evaluation lands in the engine's own registry — the
+// source the stats verb prints, giving per-session visibility — and, when
+// telemetry is wired, in the shared registry a host exposes globally
+// (GET /metrics on the server), so per-verb cost is visible at both
+// scopes without double bookkeeping anywhere else.
+const (
+	// MetricVerbCalls counts evaluated commands by verb.
+	MetricVerbCalls = "ringo_verb_calls_total"
+	// MetricVerbErrors counts evaluations that returned an error, by verb.
+	MetricVerbErrors = "ringo_verb_errors_total"
+	// MetricVerbDuration is the per-verb evaluation latency histogram.
+	MetricVerbDuration = "ringo_verb_duration_seconds"
+)
+
+const (
+	helpVerbCalls    = "Commands evaluated, by verb."
+	helpVerbErrors   = "Commands that returned an error, by verb."
+	helpVerbDuration = "Command evaluation latency in seconds, by verb."
+)
+
+// Telemetry wires an engine into a host's observability layer. The zero
+// value disables everything except the engine's always-on local registry.
+type Telemetry struct {
+	// Reg additionally receives every per-verb record — a server passes
+	// its shared registry here so verb cost aggregates across sessions.
+	Reg *obs.Registry
+	// Log receives slow-query records (and nothing else from the engine).
+	Log *slog.Logger
+	// SlowQuery is the elapsed threshold at or above which an evaluated
+	// verb or script step is logged through Log; 0 disables the slow log.
+	SlowQuery time.Duration
+	// Session labels slow-query records with the owning session id.
+	Session string
+}
+
+// SetTelemetry installs the host's observability wiring. Call before the
+// engine is shared between goroutines.
+func (e *Engine) SetTelemetry(t Telemetry) { e.tel = t }
+
+// Metrics exposes the engine's own per-verb registry, populated from the
+// first Eval on. The stats verb renders it; hosts embedding the engine can
+// scrape it directly.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// observe records one completed evaluation into the local and (when
+// wired) shared registries, and emits the slow-query record when the verb
+// crossed the threshold. Only known verbs are recorded: series are keyed
+// by verb name, and arbitrary input must not mint unbounded label values.
+func (e *Engine) observe(verb string, args []string, elapsed time.Duration, err error) {
+	label := obs.L("verb", verb)
+	for _, reg := range [...]*obs.Registry{e.metrics, e.tel.Reg} {
+		if reg == nil {
+			continue
+		}
+		reg.Counter(MetricVerbCalls, helpVerbCalls, label).Inc()
+		if err != nil {
+			reg.Counter(MetricVerbErrors, helpVerbErrors, label).Inc()
+		}
+		reg.Histogram(MetricVerbDuration, helpVerbDuration, label).Observe(elapsed)
+	}
+	if e.tel.Log != nil && e.tel.SlowQuery > 0 && elapsed >= e.tel.SlowQuery {
+		// Fingerprints of the arguments that name live workspace objects:
+		// "G#17" pins exactly which state of which graph was slow, so a
+		// recurring slow query can be correlated across mutations.
+		var fps []string
+		for _, a := range args {
+			if fp, ok := e.ws.Fingerprint(a); ok {
+				fps = append(fps, fp)
+			}
+		}
+		attrs := []any{
+			slog.String("verb", verb),
+			slog.String("cmd", strings.TrimSpace(verb+" "+strings.Join(args, " "))),
+			slog.Duration("elapsed", elapsed),
+			slog.String("objects", strings.Join(fps, ",")),
+		}
+		if e.tel.Session != "" {
+			attrs = append(attrs, slog.String("session", e.tel.Session))
+		}
+		if err != nil {
+			attrs = append(attrs, slog.String("error", err.Error()))
+		}
+		e.tel.Log.Warn("slow query", attrs...)
+	}
+}
+
+// cmdStats renders the engine's per-verb telemetry: call and error counts
+// plus latency percentiles extracted from the log₂ histograms. Read-only;
+// an engine that has evaluated nothing reports that instead of an empty
+// table.
+func (e *Engine) cmdStats(r *Result) error {
+	series := e.metrics.Series(MetricVerbDuration)
+	if len(series) == 0 {
+		r.Message = "(no commands recorded yet)"
+		return nil
+	}
+	r.Columns = []string{"verb", "calls", "errors", "p50", "p90", "p99", "total"}
+	for _, sv := range series {
+		verb := sv.Get("verb")
+		calls, _ := e.metrics.Value(MetricVerbCalls, obs.L("verb", verb))
+		errs, _ := e.metrics.Value(MetricVerbErrors, obs.L("verb", verb))
+		h := sv.Hist
+		r.Rows = append(r.Rows, []string{
+			verb,
+			strconv.FormatUint(uint64(calls), 10),
+			strconv.FormatUint(uint64(errs), 10),
+			h.P50.Round(time.Microsecond).String(),
+			h.P90.Round(time.Microsecond).String(),
+			h.P99.Round(time.Microsecond).String(),
+			h.Sum.Round(time.Microsecond).String(),
+		})
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"log/slog"
+
+	"ringo/internal/obs"
+)
+
+// TestStatsVerb checks the stats verb reports per-verb counts and
+// percentiles from the engine's own registry, including failed commands.
+func TestStatsVerb(t *testing.T) {
+	e := New(nil)
+	r, err := e.Eval("stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stats call itself is recorded after the verb runs, so a fresh
+	// engine reports emptiness.
+	if !strings.Contains(r.Message, "no commands recorded") {
+		t.Errorf("fresh stats message = %q", r.Message)
+	}
+
+	mustEval(t, e, "gen rmat E 8 500 7")
+	mustEval(t, e, "tograph G E src dst")
+	mustEval(t, e, "pagerank PR G")
+	mustEval(t, e, "pagerank PR2 G")
+	if _, err := e.Eval("pagerank"); err == nil { // missing args -> error
+		t.Fatal("want usage error")
+	}
+
+	r, err = e.Eval("stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"verb", "calls", "errors", "p50", "p90", "p99", "total"}; strings.Join(r.Columns, ",") != strings.Join(want, ",") {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+	rows := map[string][]string{}
+	for _, row := range r.Rows {
+		rows[row[0]] = row
+	}
+	pr, ok := rows["pagerank"]
+	if !ok {
+		t.Fatalf("no pagerank row in %v", r.Rows)
+	}
+	if pr[1] != "3" || pr[2] != "1" {
+		t.Errorf("pagerank calls/errors = %s/%s, want 3/1", pr[1], pr[2])
+	}
+	if _, err := time.ParseDuration(pr[3]); err != nil {
+		t.Errorf("p50 %q is not a duration: %v", pr[3], err)
+	}
+	// stats ran once before this evaluation; its own row must be present.
+	if st, ok := rows["stats"]; !ok || st[1] != "1" {
+		t.Errorf("stats row = %v", rows["stats"])
+	}
+}
+
+// TestSharedRegistryReceivesVerbMetrics checks Telemetry.Reg aggregates
+// the same series the local registry records.
+func TestSharedRegistryReceivesVerbMetrics(t *testing.T) {
+	shared := obs.NewRegistry()
+	e := New(nil)
+	e.SetTelemetry(Telemetry{Reg: shared})
+	mustEval(t, e, "gen rmat E 8 500 7")
+	mustEval(t, e, "ls")
+	mustEval(t, e, "ls")
+
+	if v, ok := shared.Value(MetricVerbCalls, obs.L("verb", "ls")); !ok || v != 2 {
+		t.Errorf("shared ls calls = %v, %v", v, ok)
+	}
+	if h := shared.Histogram(MetricVerbDuration, helpVerbDuration, obs.L("verb", "gen")); h.Count() != 1 {
+		t.Errorf("shared gen histogram count = %d", h.Count())
+	}
+	if v, ok := e.Metrics().Value(MetricVerbCalls, obs.L("verb", "ls")); !ok || v != 2 {
+		t.Errorf("local ls calls = %v, %v", v, ok)
+	}
+}
+
+// TestSlowQueryLog sets the threshold to one nanosecond so every verb is
+// "slow", and asserts the structured record carries session, verb, object
+// fingerprints and duration — the fields an operator needs to correlate a
+// slow query with the exact object state it ran against.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	e := New(nil)
+	e.SetTelemetry(Telemetry{Log: logger, SlowQuery: time.Nanosecond, Session: "s1"})
+
+	mustEval(t, e, "gen rmat E 8 500 7")
+	mustEval(t, e, "tograph G E src dst")
+	buf.Reset()
+	mustEval(t, e, "pagerank PR G")
+
+	line := strings.SplitN(buf.String(), "\n", 2)[0]
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("slow-query record is not JSON: %v (%q)", err, line)
+	}
+	if rec["msg"] != "slow query" || rec["verb"] != "pagerank" || rec["session"] != "s1" {
+		t.Errorf("record = %v", rec)
+	}
+	if obj, _ := rec["objects"].(string); !strings.Contains(obj, "G#") {
+		t.Errorf("objects = %v, want a G#<version> fingerprint", rec["objects"])
+	}
+	if _, ok := rec["elapsed"]; !ok {
+		t.Errorf("record has no elapsed field: %v", rec)
+	}
+
+	// Below threshold: nothing is logged.
+	e.SetTelemetry(Telemetry{Log: logger, SlowQuery: time.Hour, Session: "s1"})
+	buf.Reset()
+	mustEval(t, e, "ls")
+	if buf.Len() != 0 {
+		t.Errorf("fast verb logged: %s", buf.String())
+	}
+
+	// Failed commands over threshold are logged with the error.
+	e.SetTelemetry(Telemetry{Log: logger, SlowQuery: time.Nanosecond})
+	buf.Reset()
+	if _, err := e.Eval("pagerank X NOPE"); err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(buf.String(), `"error"`) {
+		t.Errorf("failed slow query not logged with error: %s", buf.String())
+	}
+}
+
+func mustEval(t *testing.T, e *Engine, cmd string) *Result {
+	t.Helper()
+	r, err := e.Eval(cmd)
+	if err != nil {
+		t.Fatalf("%s: %v", cmd, err)
+	}
+	return r
+}

@@ -47,6 +47,34 @@ func (r *Result) Render(w io.Writer) {
 		if r.Truncated > 0 {
 			fmt.Fprintf(w, "  ... %d more rows\n", r.Truncated)
 		}
+	case "stats":
+		if len(r.Rows) == 0 {
+			fmt.Fprintln(w, r.Message)
+			return
+		}
+		// Column-aligned: verb names and durations vary in width.
+		widths := make([]int, len(r.Columns))
+		for i, c := range r.Columns {
+			widths[i] = len(c)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		line := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, cell := range cells {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			}
+			fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		}
+		line(r.Columns)
+		for _, row := range r.Rows {
+			line(row)
+		}
 	case "source":
 		for _, row := range r.Rows {
 			fmt.Fprintf(w, "  %2s. %s\n", row[0], row[3])

@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"sort"
+
+	"ringo/internal/obs"
 	"sync"
 	"time"
 
@@ -83,9 +85,23 @@ type jobRunner struct {
 	mu      sync.Mutex
 	jobs    map[string]*job
 	order   []string // job ids oldest-first, for retention pruning
+	retain  int      // terminal-job retention cap (tests shrink it)
 	nextID  int
 	closed  bool
 	drained sync.WaitGroup
+
+	// Lifecycle metrics, registered on the server's obs registry. The
+	// gauges track current queue/run occupancy; the counters are
+	// cumulative over the server's lifetime, which is what fixes the
+	// historical /stats undercount: the old counts() walked the retained
+	// job registry, so once pruning kicked in, terminal jobs — notably
+	// failed script jobs whose partial batches kept them worth retaining
+	// — silently vanished from every aggregate.
+	queued    *obs.Gauge
+	running   *obs.Gauge
+	done      *obs.Counter
+	failed    *obs.Counter
+	submitted *obs.Counter
 }
 
 // maxRetainedJobs bounds the job registry: once exceeded, the oldest
@@ -94,10 +110,17 @@ type jobRunner struct {
 const maxRetainedJobs = 1024
 
 func newJobRunner(srv *Server, workers int) *jobRunner {
+	reg := srv.reg
 	r := &jobRunner{
-		srv:   srv,
-		queue: make(chan *job, jobQueueDepth),
-		jobs:  make(map[string]*job),
+		srv:       srv,
+		queue:     make(chan *job, jobQueueDepth),
+		jobs:      make(map[string]*job),
+		retain:    maxRetainedJobs,
+		queued:    reg.Gauge(metricJobsQueued, "Jobs waiting for a worker."),
+		running:   reg.Gauge(metricJobsRunning, "Jobs currently executing."),
+		done:      reg.Counter(metricJobsDone, "Jobs completed successfully since startup."),
+		failed:    reg.Counter(metricJobsFailed, "Jobs failed since startup (including partial script batches)."),
+		submitted: reg.Counter(metricJobsSubmitted, "Jobs accepted since startup."),
 	}
 	r.drained.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -135,14 +158,21 @@ func (r *jobRunner) submit(sess *session, cmd string, script *repl.Script) (*job
 	}
 	r.jobs[j.id] = j
 	r.order = append(r.order, j.id)
+	r.submitted.Inc()
+	r.queued.Inc()
+	if log := r.srv.logger; log != nil {
+		log.Info("job queued", "id", j.id, "session", j.session, "cmd", j.cmd)
+	}
 	r.pruneLocked()
 	return j, nil
 }
 
 // pruneLocked forgets the oldest terminal jobs beyond the retention cap.
-// Queued and running jobs are never pruned. Caller holds r.mu.
+// Queued and running jobs are never pruned. Pruning only affects the
+// GET /jobs listing — the lifecycle counters are cumulative, so pruned
+// jobs still count in every aggregate. Caller holds r.mu.
 func (r *jobRunner) pruneLocked() {
-	for len(r.jobs) > maxRetainedJobs {
+	for len(r.jobs) > r.retain {
 		pruned := false
 		for i, id := range r.order {
 			j := r.jobs[id]
@@ -187,12 +217,17 @@ func (r *jobRunner) list(session string) []JobView {
 	return views
 }
 
+// counts reports job-state occupancy from the lifecycle metrics: queued
+// and running are current, done and failed are cumulative since startup —
+// so jobs pruned from the retention window (which GET /jobs no longer
+// lists) still show up in the totals.
 func (r *jobRunner) counts() map[string]int {
-	out := map[string]int{JobQueued: 0, JobRunning: 0, JobDone: 0, JobFailed: 0}
-	for _, v := range r.list("") {
-		out[v.State]++
+	return map[string]int{
+		JobQueued:  int(r.queued.Value()),
+		JobRunning: int(r.running.Value()),
+		JobDone:    int(r.done.Value()),
+		JobFailed:  int(r.failed.Value()),
 	}
-	return out
 }
 
 func (r *jobRunner) isClosed() bool {
@@ -213,6 +248,8 @@ func (r *jobRunner) work() {
 				j.state = JobFailed
 				j.err = "server closed before job ran"
 				j.finished = time.Now()
+				r.queued.Dec()
+				r.failed.Inc()
 			}
 			j.mu.Unlock()
 			continue
@@ -224,6 +261,8 @@ func (r *jobRunner) work() {
 		}
 		j.state = JobRunning
 		j.started = time.Now()
+		r.queued.Dec()
+		r.running.Inc()
 		j.mu.Unlock()
 
 		// Run against the session instance captured at submit time — if
@@ -249,14 +288,28 @@ func (r *jobRunner) work() {
 		j.mu.Lock()
 		j.finished = time.Now()
 		j.scriptResult = scriptRes
+		r.running.Dec()
 		if err != nil {
 			j.state = JobFailed
 			j.err = err.Error()
+			r.failed.Inc()
 		} else {
 			j.state = JobDone
 			j.result = res
 		}
+		state, errMsg := j.state, j.err
+		elapsed := j.finished.Sub(j.started)
 		j.mu.Unlock()
+		if state == JobDone {
+			r.done.Inc()
+		}
+		if log := r.srv.logger; log != nil {
+			attrs := []any{"id", j.id, "session", j.session, "cmd", j.cmd, "state", state, "elapsed", elapsed}
+			if errMsg != "" {
+				attrs = append(attrs, "error", errMsg)
+			}
+			log.Info("job finished", attrs...)
+		}
 	}
 }
 

@@ -47,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"regexp"
 	"sort"
@@ -56,6 +57,7 @@ import (
 	"time"
 
 	"ringo/internal/core"
+	"ringo/internal/obs"
 	"ringo/internal/repl"
 )
 
@@ -82,6 +84,17 @@ type Config struct {
 	// network — suitable only behind a private interface or proxy, since
 	// any client can then query, mutate or drop any session.
 	AuthToken string
+	// Logger receives structured request, job and slow-query records
+	// (slog). Nil disables logging; metrics are recorded regardless.
+	Logger *slog.Logger
+	// SlowQuery is the slow-query log threshold: any verb or script step
+	// whose evaluation takes at least this long is logged through Logger
+	// with its session, verb, object fingerprints and duration. 0
+	// disables the slow log.
+	SlowQuery time.Duration
+	// Metrics is the registry GET /metrics exposes and every layer
+	// records into; nil creates a fresh one (exposed via Metrics()).
+	Metrics *obs.Registry
 }
 
 // Defaults for Config zero values.
@@ -113,6 +126,16 @@ type Server struct {
 
 	authToken string
 
+	// reg is the unified metrics registry: the HTTP middleware, session
+	// engines (per-verb), jobs, caches, algo timers and runtime gauges
+	// all record here, and GET /metrics and GET /stats both render it.
+	reg       *obs.Registry
+	logger    *slog.Logger
+	slowQuery time.Duration
+	started   time.Time
+	inFlight  *obs.Gauge
+	reqSeq    atomic.Uint64
+
 	mu         sync.RWMutex
 	sessions   map[string]*session
 	nextSess   int
@@ -142,6 +165,13 @@ func New(cfg Config) *Server {
 		allowFiles: cfg.AllowFileIO,
 		authToken:  cfg.AuthToken,
 		viewCache:  cfg.ViewCacheSize,
+		reg:        cfg.Metrics,
+		logger:     cfg.Logger,
+		slowQuery:  cfg.SlowQuery,
+		started:    time.Now(),
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
 	}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
@@ -150,6 +180,7 @@ func New(cfg Config) *Server {
 		}
 		s.cache = NewLRU(size)
 	}
+	s.initObs()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers
@@ -180,12 +211,28 @@ func (s *Server) routeTable() map[string]http.HandlerFunc {
 		"GET /jobs/{id}":               s.handleGetJob,
 		"GET /jobs":                    s.handleListJobs,
 		"GET /stats":                   s.handleStats,
+		"GET /metrics":                 s.handleMetrics,
 	}
 }
 
-// ServeHTTP checks the bearer token (when configured) and dispatches to
-// the API mux.
+// ServeHTTP is the instrumented front door: it assigns a request id
+// (returned in X-Request-ID), tracks the in-flight gauge, dispatches
+// through the auth check and mux, then records per-route counters, the
+// status class, the latency histogram and the request log record.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
+	reqID := fmt.Sprintf("r%d", s.reqSeq.Add(1))
+	sw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	sw.Header().Set("X-Request-ID", reqID)
+	s.dispatch(sw, r)
+	s.observeRequest(r, sw, reqID, time.Since(start))
+}
+
+// dispatch checks the bearer token (when configured) and hands off to the
+// API mux.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 	if s.authToken != "" {
 		got := r.Header.Get("Authorization")
 		want := "Bearer " + s.authToken
@@ -196,6 +243,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mux.ServeHTTP(w, r)
 }
+
+// Metrics exposes the server's unified registry — what GET /metrics
+// serves — so embedding hosts (cmd/ringo-server's debug listener, tests)
+// can read or extend it.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Close stops the job workers; queued jobs are marked failed.
 func (s *Server) Close() { s.jobs.close() }
@@ -261,6 +313,15 @@ func (s *Server) CreateSession(name string) (string, error) {
 		ws.ConfigureViewCache(s.viewCache) // negative disables
 	}
 	sess := &session{id: name, eng: repl.New(ws), created: time.Now()}
+	// Per-verb metrics aggregate into the server's registry; slow-query
+	// records carry the session id. The engine keeps its own registry
+	// too, which the read-only stats verb renders per session.
+	sess.eng.SetTelemetry(repl.Telemetry{
+		Reg:       s.reg,
+		Log:       s.logger,
+		SlowQuery: s.slowQuery,
+		Session:   name,
+	})
 	if s.cache != nil {
 		s.cacheEpoch++
 		sess.cachePrefix = fmt.Sprintf("%s@%d|", name, s.cacheEpoch)
@@ -778,25 +839,37 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list(session)})
 }
 
+// handleStats renders the operational summary as JSON. Every figure is
+// read out of the obs registry — the same series GET /metrics exposes —
+// so the two surfaces cannot drift apart. The pre-registry JSON keys are
+// kept byte-compatible for existing clients; uptime_seconds, goroutines
+// and heap_bytes are additive.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	hits, misses, size := s.CacheStats()
-	vHits, vMisses, vEntries, vBytes := s.ViewCacheStats()
-	s.mu.RLock()
-	nSess := len(s.sessions)
-	s.mu.RUnlock()
+	val := func(name string) float64 {
+		v, _ := s.reg.Value(name)
+		return v
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"sessions": nSess,
-		"jobs":     s.jobs.counts(),
+		"sessions": int(val(metricSessions)),
+		"jobs": map[string]int{
+			JobQueued:  int(val(metricJobsQueued)),
+			JobRunning: int(val(metricJobsRunning)),
+			JobDone:    int(val(metricJobsDone)),
+			JobFailed:  int(val(metricJobsFailed)),
+		},
 		"cache": map[string]any{
-			"hits":    hits,
-			"misses":  misses,
-			"entries": size,
+			"hits":    uint64(val(metricResultCacheHits)),
+			"misses":  uint64(val(metricResultCacheMisses)),
+			"entries": int(val(metricResultCacheEntries)),
 		},
 		"views": map[string]any{
-			"hits":    vHits,
-			"misses":  vMisses,
-			"entries": vEntries,
-			"bytes":   vBytes,
+			"hits":    uint64(val(metricViewCacheHits)),
+			"misses":  uint64(val(metricViewCacheMisses)),
+			"entries": int(val(metricViewCacheEntries)),
+			"bytes":   int64(val(metricViewCacheBytes)),
 		},
+		"uptime_seconds": val(metricUptime),
+		"goroutines":     int(val(metricGoroutines)),
+		"heap_bytes":     uint64(val(metricHeapAlloc)),
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"ringo/internal/core"
 	"ringo/internal/gen"
 	"ringo/internal/graph"
+	"ringo/internal/obs"
 	"ringo/internal/repl"
 	"ringo/internal/server"
 	"ringo/internal/table"
@@ -45,6 +46,17 @@ type (
 	ScriptResult = repl.ScriptResult
 	// ScriptStepResult is one executed step's outcome inside a ScriptResult.
 	ScriptStepResult = repl.StepResult
+	// MetricsRegistry is the dependency-free metric registry behind
+	// GET /metrics and the stats verb: atomic counters and gauges, log₂
+	// latency histograms with percentile extraction, Prometheus text
+	// exposition via WritePrometheus (see docs/OBSERVABILITY.md).
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one key=value label on a metric series.
+	MetricLabel = obs.Label
+	// Telemetry wires an Engine into a host's observability: a shared
+	// registry for per-verb metrics, a slog.Logger and threshold for the
+	// slow-query log, and a session id to label its records.
+	Telemetry = repl.Telemetry
 )
 
 // NewWorkspace returns an empty session workspace.
@@ -78,6 +90,14 @@ func RunScript(e *Engine, src string) (*ScriptResult, error) {
 // RenderScript writes a script run as the classic shell text, honoring the
 // script's @echo and @time directives.
 func RenderScript(w io.Writer, sr *ScriptResult) { repl.RenderScript(w, sr) }
+
+// NewMetricsRegistry returns an empty metric registry. Servers construct
+// their own (reachable via Server.Metrics); standalone embedders can share
+// one across engines through Telemetry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricL builds one metric series label.
+func MetricL(key, value string) MetricLabel { return obs.L(key, value) }
 
 // Core data types, re-exported from the engine.
 type (

@@ -23,7 +23,11 @@
 // With -allow-file-io the server can persist and reload whole sessions as
 // binary workspace snapshots (POST /sessions/{id}/snapshot and /restore),
 // and -restore <file> warm-starts a restarted server from such a snapshot
-// before the listener comes up.
+// before the listener comes up. -restore also accepts an RNGM mapped CSR
+// image (written by the savemapped verb): instead of decoding, the graph
+// is validated and served in place from mmap as the read-only binding "g",
+// turning a restart on a big graph from a decode-bound wait into
+// milliseconds (GET /stats reports the file-backed size as mapped_bytes).
 //
 // Observability (docs/OBSERVABILITY.md): GET /metrics serves the whole
 // registry in Prometheus text format; every request logs through log/slog

@@ -21,6 +21,7 @@ import (
 
 	"ringo/internal/algo"
 	"ringo/internal/conv"
+	"ringo/internal/extmem"
 	"ringo/internal/graph"
 	"ringo/internal/table"
 )
@@ -101,12 +102,17 @@ func TableFromIntMap(m map[int64]int, keyCol, valCol string) (*table.Table, erro
 	return table.FromIntColumns([]string{keyCol, valCol}, [][]int64{keys, vals})
 }
 
-// Object is a value held in a Workspace: a table, a graph, or a score map.
+// Object is a value held in a Workspace: a table, a graph (in-heap or
+// mapped from an RNGM image), or a score map.
 type Object struct {
 	Table  *table.Table
 	Graph  *graph.Directed
 	UGraph *graph.Undirected
 	Scores map[int64]float64
+	// Mapped is a read-only graph served in place from an RNGM file (the
+	// beyond-RAM tier): its views come straight from the mapping, never
+	// from the view cache, and mutating verbs reject it.
+	Mapped *extmem.Graph
 }
 
 // Kind describes what an Object holds.
@@ -120,6 +126,8 @@ func (o Object) Kind() string {
 		return "ugraph"
 	case o.Scores != nil:
 		return "scores"
+	case o.Mapped != nil:
+		return "mgraph"
 	default:
 		return "empty"
 	}
@@ -136,6 +144,13 @@ func (o Object) Summary() string {
 		return fmt.Sprintf("graph  %d nodes, %d edges (undirected)", o.UGraph.NumNodes(), o.UGraph.NumEdges())
 	case o.Scores != nil:
 		return fmt.Sprintf("scores %d nodes", len(o.Scores))
+	case o.Mapped != nil:
+		via := "mmap"
+		if !o.Mapped.Mapped() {
+			via = "copied"
+		}
+		return fmt.Sprintf("mgraph %d nodes, %d edges (%s, %s %s)",
+			o.Mapped.NumNodes(), o.Mapped.NumEdges(), o.Mapped.Kind(), via, o.Mapped.Path())
 	default:
 		return "empty"
 	}
@@ -225,6 +240,15 @@ func (w *Workspace) DirectedView(name string) (*graph.View, error) {
 	if !ok {
 		return nil, fmt.Errorf("no object named %q", name)
 	}
+	if o.Mapped != nil {
+		// A mapped graph IS its view: no conversion to cache, no heap
+		// bytes for the cache to account. Serve it straight from the
+		// mapping.
+		if mv := o.Mapped.View(); mv != nil {
+			return mv, nil
+		}
+		return nil, fmt.Errorf("%q is an undirected mapped graph, not a directed one", name)
+	}
 	if o.Graph == nil {
 		return nil, fmt.Errorf("%q is a %s, not a directed graph", name, o.Kind())
 	}
@@ -253,6 +277,14 @@ func (w *Workspace) UndirectedView(name string) (*graph.UView, error) {
 		v = views.Undirected(name, ver, func() *graph.UView { return graph.BuildUView(o.UGraph) })
 	case o.Graph != nil:
 		v = views.Undirected(name, ver, func() *graph.UView { return graph.BuildUView(graph.AsUndirected(o.Graph)) })
+	case o.Mapped != nil && o.Mapped.UView() != nil:
+		// An undirected mapped image is served in place, like DirectedView.
+		return o.Mapped.UView(), nil
+	case o.Mapped != nil:
+		// The undirected projection of a mapped directed graph is a heap
+		// materialization, so it earns a cache slot like any conversion;
+		// the builder streams the mapped arenas once.
+		v = views.Undirected(name, ver, func() *graph.UView { return graph.ProjectUView(o.Mapped.View()) })
 	default:
 		return nil, fmt.Errorf("%q is a %s, not a graph", name, o.Kind())
 	}
@@ -444,4 +476,34 @@ func (w *Workspace) Names() []string {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	return append([]string(nil), w.order...)
+}
+
+// MappedGraph returns the mapped graph bound to name or an error.
+func (w *Workspace) MappedGraph(name string) (*extmem.Graph, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	o, ok := w.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("no object named %q", name)
+	}
+	if o.Mapped == nil {
+		return nil, fmt.Errorf("%q is a %s, not a mapped graph", name, o.Kind())
+	}
+	return o.Mapped, nil
+}
+
+// MappedBytes reports the total size of RNGM images bound in the
+// workspace. These bytes are file-backed (page cache, not Go heap), which
+// is why they are accounted separately from the view cache's resident
+// bytes in stats and metrics.
+func (w *Workspace) MappedBytes() int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var total int64
+	for _, o := range w.objs {
+		if o.Mapped != nil {
+			total += o.Mapped.Bytes()
+		}
+	}
+	return total
 }

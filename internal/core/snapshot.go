@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -19,6 +20,14 @@ func (w *Workspace) Snapshot(out io.Writer) error {
 	objs := make([]snapshot.Object, 0, len(w.order))
 	for _, name := range w.order {
 		o := w.objs[name]
+		if o.Mapped != nil {
+			// A mapped graph already lives in its own durable file;
+			// copying it into a snapshot would both bloat the snapshot and
+			// silently demote the binding to a decoded heap graph on
+			// restore. Point the user at the file instead.
+			return fmt.Errorf("core: %q is a mapped graph served from %s; snapshots exclude mapped bindings (drop it or re-open the RNGM file after restore)",
+				name, o.Mapped.Path())
+		}
 		objs = append(objs, snapshot.Object{
 			Name:       name,
 			Provenance: w.prov[name],

@@ -1,0 +1,14 @@
+//go:build !(linux || darwin)
+
+package extmem
+
+import "os"
+
+// mmapSupported is false on platforms this package has no mmap shim for;
+// OpenMapped fails with ErrNoMmap and Open falls back to copying the file
+// into an aligned heap buffer (correct, but bounded by RAM again).
+const mmapSupported = false
+
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, ErrNoMmap
+}

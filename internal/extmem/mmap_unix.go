@@ -1,0 +1,25 @@
+//go:build linux || darwin
+
+package extmem
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can serve RNGM files in place.
+// On unix the image is mapped read-only and shared, so the kernel pages it
+// in on demand and may drop clean pages under memory pressure — the
+// property that lets graphs larger than the heap stay queryable.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and returns the mapping plus its
+// releaser. The file descriptor may be closed after mapping; the mapping
+// stays valid until the releaser runs.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, &os.PathError{Op: "mmap", Path: f.Name(), Err: err}
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,287 @@
+package extmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"ringo/internal/graph"
+	"ringo/internal/par"
+	"ringo/internal/xhash"
+)
+
+// ErrNoMmap reports that this build has no mmap shim for the host platform.
+// OpenMapped fails with it; Open catches it and copies the file into an
+// aligned heap buffer instead, which is correct but loses the beyond-RAM
+// property.
+var ErrNoMmap = errors.New("extmem: no mmap support on this platform; RNGM graphs load by copying the file into memory (extmem.Open)")
+
+// Graph is an opened RNGM image: the raw bytes (mapped or heap-copied) plus
+// a graph.View / graph.UView assembled directly over them. The view pins
+// the Graph, and the Graph pins the mapping, so views handed to algorithms
+// or the view cache stay valid even after the Graph itself goes out of
+// scope; a runtime cleanup releases the mapping once nothing references it.
+// Close releases it eagerly — only safe once no views over it are in use.
+type Graph struct {
+	path   string
+	data   []byte
+	mapped bool
+	kind   uint32
+	view   *graph.View  // non-nil iff kind == kindDirected
+	uview  *graph.UView // non-nil iff kind == kindUndirected
+
+	closer *mapCloser
+}
+
+// mapCloser releases a mapping exactly once. It is a separate object so the
+// runtime cleanup can reference it without keeping the Graph (and therefore
+// the cleanup's own trigger) alive.
+type mapCloser struct {
+	once  sync.Once
+	unmap func() error
+	err   error
+}
+
+func (c *mapCloser) close() error {
+	c.once.Do(func() {
+		if c.unmap != nil {
+			c.err = c.unmap()
+		}
+	})
+	return c.err
+}
+
+// OpenMapped opens an RNGM image via the platform mmap, validates it, and
+// serves it as a queryable view without decoding the arrays. On platforms
+// without an mmap shim it fails with ErrNoMmap.
+func OpenMapped(path string) (*Graph, error) {
+	if !mmapSupported {
+		return nil, fmt.Errorf("extmem: open %s: %w", path, ErrNoMmap)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, fmt.Errorf("extmem: %s: empty file", path)
+	}
+	data, unmap, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	g, err := finish(path, data, true, unmap)
+	if err != nil {
+		unmap()
+		return nil, err
+	}
+	return g, nil
+}
+
+// Open opens an RNGM image, preferring the zero-copy mapped path and
+// falling back to an aligned in-memory copy where mmap is unavailable.
+func Open(path string) (*Graph, error) {
+	g, err := OpenMapped(path)
+	if err == nil || !errors.Is(err, ErrNoMmap) {
+		return g, err
+	}
+	return openFallback(path)
+}
+
+// openFallback reads the whole file into a []uint64-backed buffer so the
+// base is 8-byte aligned and sections alias exactly as they do in a
+// mapping.
+func openFallback(path string) (*Graph, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("extmem: %s: empty file", path)
+	}
+	backing := make([]uint64, (len(raw)+7)/8)
+	data := u64Bytes(backing)[:len(raw)]
+	copy(data, raw)
+	return finish(path, data, false, nil)
+}
+
+// finish validates a raw image and assembles the Graph over it.
+func finish(path string, data []byte, mapped bool, unmap func() error) (*Graph, error) {
+	g := &Graph{path: path, data: data, mapped: mapped, closer: &mapCloser{unmap: unmap}}
+	if err := g.parse(); err != nil {
+		return nil, fmt.Errorf("extmem: %s: %w", path, err)
+	}
+	// Backstop release: once neither the Graph nor any view retaining it is
+	// reachable, the mapping goes away even without an explicit Close. The
+	// closure must capture only the closer, never g itself.
+	runtime.AddCleanup(g, func(c *mapCloser) { c.close() }, g.closer)
+	return g, nil
+}
+
+// parse validates the header, section table, checksums and array
+// invariants, then aliases the sections into a view. Every check mirrors
+// the RNGO/RNGU hardening: truncation, absurd counts, lying lengths and
+// corrupt payloads all fail with a named error before any algorithm can
+// index out of bounds.
+func (g *Graph) parse() error {
+	data := g.data
+	if int64(len(data)) < fixedHeaderLen+8 {
+		return fmt.Errorf("truncated header (%d bytes)", len(data))
+	}
+	if string(data[:4]) != mappedMagic {
+		return fmt.Errorf("not a mapped graph image (magic %q)", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != mappedVersion {
+		return fmt.Errorf("unsupported format version %d", v)
+	}
+	g.kind = binary.LittleEndian.Uint32(data[8:])
+	var nsections int
+	switch g.kind {
+	case kindDirected:
+		nsections = 5
+	case kindUndirected:
+		nsections = 3
+	default:
+		return fmt.Errorf("unknown graph kind %d", g.kind)
+	}
+	nnodes := binary.LittleEndian.Uint64(data[16:])
+	nentries := binary.LittleEndian.Uint64(data[24:])
+	if nnodes > maxMappedCount || nentries > maxMappedCount {
+		return fmt.Errorf("implausible header counts (%d nodes, %d edge entries)", nnodes, nentries)
+	}
+	if got := binary.LittleEndian.Uint64(data[32:]); got != uint64(nsections) {
+		return fmt.Errorf("header claims %d sections, %s images have %d", got, kindName(g.kind), nsections)
+	}
+	hdr := headerLen(nsections)
+	if int64(len(data)) < hdr {
+		return fmt.Errorf("truncated section table (%d bytes, header needs %d)", len(data), hdr)
+	}
+	if got, want := binary.LittleEndian.Uint64(data[hdr-8:]), xhash.Checksum64(data[:hdr-8]); got != want {
+		return fmt.Errorf("header checksum mismatch (file %x, computed %x)", got, want)
+	}
+
+	// Section lengths are fully determined by the header counts; a table
+	// that disagrees is lying about the layout.
+	n, e := int64(nnodes), int64(nentries)
+	var want []int64
+	switch g.kind {
+	case kindDirected:
+		want = []int64{n * 8, (n + 1) * 8, (n + 1) * 8, e * 4, e * 4}
+	case kindUndirected:
+		want = []int64{n * 8, (n + 1) * 8, e * 4}
+	}
+	type span struct{ off, len int64 }
+	spans := make([]span, nsections)
+	prevEnd := hdr
+	for i := 0; i < nsections; i++ {
+		ent := data[fixedHeaderLen+i*sectionEntryLen:]
+		off := binary.LittleEndian.Uint64(ent)
+		length := binary.LittleEndian.Uint64(ent[8:])
+		if off > uint64(len(data)) || off%pageAlign != 0 {
+			return fmt.Errorf("section %d offset %d misaligned or out of range", i, off)
+		}
+		if int64(length) != want[i] {
+			return fmt.Errorf("section %d length %d disagrees with header counts (want %d)", i, length, want[i])
+		}
+		if int64(off) < prevEnd {
+			return fmt.Errorf("section %d at offset %d overlaps preceding bytes (end %d)", i, off, prevEnd)
+		}
+		if uint64(len(data))-off < length {
+			return fmt.Errorf("section %d (offset %d, length %d) extends past file end (%d bytes)", i, off, length, len(data))
+		}
+		spans[i] = span{int64(off), int64(length)}
+		prevEnd = int64(off) + int64(length)
+	}
+
+	// Payload checksums, one worker per section: a linear read of the file
+	// with no allocation — cheap next to a decode, and it catches the bit
+	// rot the structural checks below cannot.
+	sumErrs := make([]error, nsections)
+	par.ForEach(nsections, func(i int) {
+		ent := data[fixedHeaderLen+i*sectionEntryLen:]
+		wantSum := binary.LittleEndian.Uint64(ent[16:])
+		if got := xhash.Checksum64(data[spans[i].off : spans[i].off+spans[i].len]); got != wantSum {
+			sumErrs[i] = fmt.Errorf("section %d checksum mismatch (file %x, computed %x)", i, wantSum, got)
+		}
+	})
+	for _, err := range sumErrs {
+		if err != nil {
+			return err
+		}
+	}
+
+	switch g.kind {
+	case kindDirected:
+		ids := i64Section(data, spans[0].off, spans[0].len)
+		outOff := i64Section(data, spans[1].off, spans[1].len)
+		inOff := i64Section(data, spans[2].off, spans[2].len)
+		out := i32Section(data, spans[3].off, spans[3].len)
+		in := i32Section(data, spans[4].off, spans[4].len)
+		v, err := graph.ViewFromArrays(ids, outOff, inOff, out, in, g)
+		if err != nil {
+			return err
+		}
+		g.view = v
+	case kindUndirected:
+		ids := i64Section(data, spans[0].off, spans[0].len)
+		off := i64Section(data, spans[1].off, spans[1].len)
+		arena := i32Section(data, spans[2].off, spans[2].len)
+		u, err := graph.UViewFromArrays(ids, off, arena, g)
+		if err != nil {
+			return err
+		}
+		g.uview = u
+	}
+	return nil
+}
+
+// Path returns the file the image was opened from.
+func (g *Graph) Path() string { return g.path }
+
+// Kind reports "directed" or "undirected".
+func (g *Graph) Kind() string { return kindName(g.kind) }
+
+// View returns the directed view served over the image, or nil for
+// undirected images.
+func (g *Graph) View() *graph.View { return g.view }
+
+// UView returns the undirected view served over the image, or nil for
+// directed images.
+func (g *Graph) UView() *graph.UView { return g.uview }
+
+// NumNodes reports the node count of the image.
+func (g *Graph) NumNodes() int {
+	if g.view != nil {
+		return g.view.NumNodes()
+	}
+	return g.uview.NumNodes()
+}
+
+// NumEdges reports the edge count: directed edges for directed images,
+// undirected edges (self-loops once) for undirected ones.
+func (g *Graph) NumEdges() int64 {
+	if g.view != nil {
+		return g.view.NumEdges()
+	}
+	return g.uview.NumEdges()
+}
+
+// Bytes reports the size of the backing image in bytes.
+func (g *Graph) Bytes() int64 { return int64(len(g.data)) }
+
+// Mapped reports whether the image is served by mmap (true) or the
+// read-into-memory fallback (false).
+func (g *Graph) Mapped() bool { return g.mapped }
+
+// Close releases the mapping. It is safe to call more than once, but must
+// not race with algorithms still reading views over this image — the pages
+// vanish under them. Long-lived owners (workspaces) should simply drop the
+// Graph and let the runtime cleanup release it.
+func (g *Graph) Close() error { return g.closer.close() }

@@ -25,6 +25,11 @@ const (
 	// adjacency vector per node instead of an out-vector.
 	undirectedMagic = "RNGU"
 
+	// mappedMagic marks the mmap-friendly CSR image written by
+	// internal/extmem. This package only sniffs it so stream loaders can
+	// point callers at the mapped loader instead of failing on a parse.
+	mappedMagic = "RNGM"
+
 	// maxBinaryCount rejects node/edge counts no real dataset reaches
 	// (2^44 ≈ 17 trillion): a header claiming more is corrupt, and
 	// trusting it would mean absurd allocations before the stream runs
@@ -382,6 +387,11 @@ func LoadFileAuto(path string) (*Directed, error) {
 		// Feeding these bytes to the text parser would produce a baffling
 		// integer-parse error; name the actual mismatch instead.
 		return nil, fmt.Errorf("graph: %s holds an undirected binary graph; this loader builds directed graphs (use LoadBinaryUndirected)", path)
+	}
+	if err == nil && string(head) == mappedMagic {
+		// Mapped CSR images are not decoded into a Directed at all; they
+		// are served in place by the extmem loader.
+		return nil, fmt.Errorf("graph: %s holds a mapped CSR graph image; decode-style loaders cannot read it (use extmem.OpenMapped)", path)
 	}
 	return LoadEdgeListParallel(br)
 }

@@ -23,6 +23,10 @@ type View struct {
 	arena  []int32 // out targets in arena[:E], in sources in arena[E:]
 	out    []int32 // arena[:E:E]
 	in     []int32 // arena[E:]
+	// retain pins whatever owns externally backed arrays (a file mapping)
+	// for the view's lifetime; nil for heap-built views. idx is nil for
+	// such views — Index falls back to binary search over ids.
+	retain any
 }
 
 // BuildView snapshots a directed graph into its CSR view, in parallel:
@@ -125,10 +129,22 @@ func (v *View) IDs() []int64 { return v.ids }
 // ID returns the node id at dense index i.
 func (v *View) ID(i int32) int64 { return v.ids[i] }
 
-// Index returns the dense index of a node id.
+// Index returns the dense index of a node id. Heap-built views answer from
+// the id->dense hash map; views assembled over external arrays (mapped
+// graphs) have no map and binary-search the ascending id vector instead —
+// Index is only consulted at algorithm entry points, never per edge, so the
+// O(log V) lookup costs nothing measurable while keeping a mapped file
+// usable with zero decoded state.
 func (v *View) Index(id int64) (int32, bool) {
-	i, ok := v.idx[id]
-	return i, ok
+	if v.idx != nil {
+		i, ok := v.idx[id]
+		return i, ok
+	}
+	i, ok := slices.BinarySearch(v.ids, id)
+	if !ok {
+		return 0, false
+	}
+	return int32(i), true
 }
 
 // Out returns the sorted dense out-neighbor indices of dense index u. The
@@ -161,6 +177,8 @@ type UView struct {
 	idx   map[int64]int32
 	off   []int64
 	arena []int32
+	// retain pins external array owners; see View.retain.
+	retain any
 }
 
 // BuildUView snapshots an undirected graph into its CSR view (see BuildView
@@ -242,10 +260,18 @@ func (v *UView) IDs() []int64 { return v.ids }
 // ID returns the node id at dense index i.
 func (v *UView) ID(i int32) int64 { return v.ids[i] }
 
-// Index returns the dense index of a node id.
+// Index returns the dense index of a node id (see View.Index: mapped views
+// binary-search the id vector instead of hashing).
 func (v *UView) Index(id int64) (int32, bool) {
-	i, ok := v.idx[id]
-	return i, ok
+	if v.idx != nil {
+		i, ok := v.idx[id]
+		return i, ok
+	}
+	i, ok := slices.BinarySearch(v.ids, id)
+	if !ok {
+		return 0, false
+	}
+	return int32(i), true
 }
 
 // Adj returns the sorted dense neighbor indices of dense index u. The slice

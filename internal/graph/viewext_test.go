@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestViewFromArraysRoundTrip(t *testing.T) {
+	v := BuildView(randomDirected(t, 200, 1500, 1))
+	ids, outOff, inOff, out, in := v.ViewParts()
+	got, err := ViewFromArrays(ids, outOff, inOff, out, in, nil)
+	if err != nil {
+		t.Fatalf("ViewFromArrays rejected a valid view: %v", err)
+	}
+	for i := 0; i < v.NumNodes(); i++ {
+		if !slices.Equal(v.Out(int32(i)), got.Out(int32(i))) || !slices.Equal(v.In(int32(i)), got.In(int32(i))) {
+			t.Fatalf("adjacency of dense %d differs", i)
+		}
+	}
+	// The reconstructed view has no hash map; Index must still resolve
+	// every id (binary search) and miss absent ones.
+	for _, id := range ids {
+		wi, _ := v.Index(id)
+		gi, ok := got.Index(id)
+		if !ok || wi != gi {
+			t.Fatalf("Index(%d) = %d,%v; want %d,true", id, gi, ok, wi)
+		}
+	}
+	if _, ok := got.Index(-5); ok {
+		t.Fatalf("Index hit on absent id")
+	}
+}
+
+func TestViewFromArraysRejectsBadShapes(t *testing.T) {
+	v := BuildView(randomDirected(t, 50, 300, 2))
+	ids, outOff, inOff, out, in := v.ViewParts()
+
+	badIDs := slices.Clone(ids)
+	badIDs[3] = badIDs[2]
+	if _, err := ViewFromArrays(badIDs, outOff, inOff, out, in, nil); err == nil {
+		t.Fatalf("accepted non-ascending ids")
+	}
+
+	badOff := slices.Clone(outOff)
+	badOff[0] = 1
+	if _, err := ViewFromArrays(ids, badOff, inOff, out, in, nil); err == nil {
+		t.Fatalf("accepted offset vector not starting at 0")
+	}
+
+	badOut := slices.Clone(out)
+	badOut[0] = int32(len(ids)) // out of range
+	if _, err := ViewFromArrays(ids, outOff, inOff, badOut, in, nil); err == nil {
+		t.Fatalf("accepted out-of-range neighbor")
+	}
+
+	if _, err := ViewFromArrays(ids, outOff[:len(outOff)-1], inOff, out, in, nil); err == nil {
+		t.Fatalf("accepted short offset vector")
+	}
+}
+
+func TestProjectUView(t *testing.T) {
+	g := randomDirected(t, 150, 900, 3)
+	// A few isolated nodes and deletions so the projection sees empty
+	// vectors and renumbered dense indices.
+	for i := int64(150); i < 160; i++ {
+		g.AddNode(i)
+	}
+	for i := int64(0); i < 30; i += 3 {
+		g.DelNode(i)
+	}
+	v := BuildView(g)
+	u := ProjectUView(v)
+
+	if !slices.Equal(v.IDs(), u.IDs()) {
+		t.Fatalf("projection changed the id space")
+	}
+	for i := 0; i < v.NumNodes(); i++ {
+		want := map[int32]bool{}
+		for _, w := range v.Out(int32(i)) {
+			want[w] = true
+		}
+		for _, w := range v.In(int32(i)) {
+			want[w] = true
+		}
+		adj := u.Adj(int32(i))
+		if len(adj) != len(want) {
+			t.Fatalf("dense %d: projected degree %d, want %d", i, len(adj), len(want))
+		}
+		if !slices.IsSorted(adj) {
+			t.Fatalf("dense %d: projected adjacency not sorted", i)
+		}
+		for _, w := range adj {
+			if !want[w] {
+				t.Fatalf("dense %d: projected neighbor %d not in out/in union", i, w)
+			}
+		}
+	}
+}

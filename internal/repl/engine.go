@@ -19,6 +19,8 @@ package repl
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -26,6 +28,7 @@ import (
 
 	"ringo/internal/algo"
 	"ringo/internal/core"
+	"ringo/internal/extmem"
 	"ringo/internal/gen"
 	"ringo/internal/graph"
 	"ringo/internal/obs"
@@ -143,11 +146,12 @@ var verbs = map[string]verb{
 	"stats": {run: func(e *Engine, r *Result, _ []string) error {
 		return e.cmdStats(r)
 	}},
-	"save":     {run: (*Engine).cmdSave, files: true},
-	"snapshot": {run: (*Engine).cmdSnapshot, files: true},
-	"restore":  {run: (*Engine).cmdRestore, mutates: true, files: true, replaces: true},
-	"rm":       {run: (*Engine).cmdRm, mutates: true},
-	"mv":       {run: (*Engine).cmdMv, mutates: true},
+	"save":       {run: (*Engine).cmdSave, files: true},
+	"savemapped": {run: (*Engine).cmdSaveMapped, files: true},
+	"snapshot":   {run: (*Engine).cmdSnapshot, files: true},
+	"restore":    {run: (*Engine).cmdRestore, mutates: true, files: true, replaces: true},
+	"rm":         {run: (*Engine).cmdRm, mutates: true},
+	"mv":         {run: (*Engine).cmdMv, mutates: true},
 }
 
 // source is registered in an init func, not the literal above: its handler
@@ -182,7 +186,7 @@ func ReadOnly(line string) bool {
 }
 
 // TouchesFiles reports whether the command reads or writes host files
-// (load, loadgraph, save, snapshot, restore).
+// (load, loadgraph, save, savemapped, snapshot, restore).
 func TouchesFiles(line string) bool {
 	f := strings.Fields(line)
 	if len(f) == 0 {
@@ -211,7 +215,8 @@ const HelpText = `Ringo interactive shell — verbs over named objects.
   gen rmat <name> <scale> <edges> [seed]   generate an R-MAT edge table
   gen posts <name> [questions]             generate a StackOverflow-like posts table
   load <name> <file> <col:type>...         load a TSV into a table
-  loadgraph <name> <file>                  load an edge-list file into a graph
+  loadgraph <name> <file>                  load a graph: text edge list, binary (RNGO/RNGU),
+                                           or mapped CSR image (RNGM, served from mmap)
   select <out> <tbl> <col> <op> <value>    filter rows (op: == != < <= > >=)
   filter <out> <tbl> <predicate>           filter with an expression, e.g. Tag = Java and Score > 3
   join <out> <left> <right> <lcol> <rcol>  equi-join two tables
@@ -231,6 +236,7 @@ const HelpText = `Ringo interactive shell — verbs over named objects.
   stats                                    per-verb call counts and latency percentiles
   show <tbl> [rows]                        print the first rows of a table
   save <obj> <file>                        write a table as TSV or a graph as binary
+  savemapped <graph> <file>                write a graph as a mappable CSR image (RNGM)
   snapshot <file>                          save the whole workspace as a binary snapshot
   restore <file>                           replace the workspace with a snapshot's contents
   source <file>                            run a script file (one verb per line, # comments,
@@ -385,9 +391,24 @@ func (e *Engine) cmdLoadGraph(r *Result, args []string) error {
 	if err := need(args, 2, "loadgraph <name> <file>"); err != nil {
 		return err
 	}
-	// Magic-byte sniffing: files written by "save <graph> <file>" load
+	// Magic-byte sniffing: RNGM images are mapped in place (no decode, no
+	// heap copy — the beyond-RAM tier), files written by "save" load
 	// through the fast binary path, anything else parses as a text edge
 	// list on all cores (parallel chunk parse + sort-first bulk build).
+	if isMappedFile(args[1]) {
+		mg, err := extmem.Open(args[1])
+		if err != nil {
+			return err
+		}
+		e.bind(r, args[0], core.Object{Mapped: mg})
+		via := "mmap"
+		if !mg.Mapped() {
+			via = "copied: no mmap on this platform"
+		}
+		r.Message = fmt.Sprintf("%s: %d nodes, %d edges (mapped %s, %s)",
+			args[0], mg.NumNodes(), mg.NumEdges(), mg.Kind(), via)
+		return nil
+	}
 	g, err := graph.LoadFileAuto(args[1])
 	if err != nil {
 		return err
@@ -395,6 +416,22 @@ func (e *Engine) cmdLoadGraph(r *Result, args []string) error {
 	e.bind(r, args[0], core.Object{Graph: g})
 	r.Message = fmt.Sprintf("%s: %d nodes, %d edges", args[0], g.NumNodes(), g.NumEdges())
 	return nil
+}
+
+// isMappedFile peeks a file's leading magic bytes for the RNGM signature.
+// Unreadable or short files report false and fall through to the regular
+// loader, whose errors name the actual problem.
+func isMappedFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var head [4]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return false
+	}
+	return string(head[:]) == "RNGM"
 }
 
 var opNames = map[string]table.CmpOp{
@@ -814,6 +851,50 @@ func (e *Engine) cmdSave(r *Result, args []string) error {
 	default:
 		return fmt.Errorf("%q is a %s; save handles tables and directed graphs (use snapshot for everything else)", args[0], o.Kind())
 	}
+	return nil
+}
+
+// cmdSaveMapped writes a graph as an RNGM image, the mmap-ready CSR layout
+// loadgraph serves in place. The CSR views come from the workspace cache,
+// so saving a graph that was just analyzed reuses the views the analytics
+// built.
+func (e *Engine) cmdSaveMapped(r *Result, args []string) error {
+	if err := need(args, 2, "savemapped <graph> <file>"); err != nil {
+		return err
+	}
+	o, ok := e.ws.Get(args[0])
+	if !ok {
+		return fmt.Errorf("no object named %q", args[0])
+	}
+	switch {
+	case o.Graph != nil:
+		v, err := e.ws.DirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		if err := extmem.SaveMapped(args[1], v); err != nil {
+			return err
+		}
+	case o.UGraph != nil:
+		uv, err := e.ws.UndirectedView(args[0])
+		if err != nil {
+			return err
+		}
+		if err := extmem.SaveMappedUndirected(args[1], uv); err != nil {
+			return err
+		}
+	case o.Mapped != nil && o.Mapped.View() != nil:
+		if err := extmem.SaveMapped(args[1], o.Mapped.View()); err != nil {
+			return err
+		}
+	case o.Mapped != nil:
+		if err := extmem.SaveMappedUndirected(args[1], o.Mapped.UView()); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%q is a %s; savemapped handles graphs", args[0], o.Kind())
+	}
+	r.Message = fmt.Sprintf("wrote %s as a mapped CSR image to %s", args[0], args[1])
 	return nil
 }
 

@@ -1,0 +1,75 @@
+package repl
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSaveMappedLoadGraphRoundTrip drives the mapped tier end to end
+// through the verb language: generate, convert, save as RNGM, load it back
+// as a mapped binding, and check analytics agree with the heap graph.
+func TestSaveMappedLoadGraphRoundTrip(t *testing.T) {
+	e := New(nil)
+	mustEval := func(line string) *Result {
+		t.Helper()
+		r, err := e.Eval(line)
+		if err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+		return r
+	}
+
+	mustEval("gen rmat t 8 2000 3")
+	mustEval("tograph g t src dst")
+	path := filepath.Join(t.TempDir(), "g.rngm")
+	mustEval("savemapped g " + path)
+
+	r := mustEval(fmt.Sprintf("loadgraph m %s", path))
+	if r.Kind != "mgraph" {
+		t.Fatalf("loadgraph bound kind %q, want mgraph", r.Kind)
+	}
+	if !strings.Contains(r.Message, "mapped directed") {
+		t.Fatalf("loadgraph message %q does not describe the mapped load", r.Message)
+	}
+
+	// Analytics over the mapped binding must agree with the heap graph.
+	heap := mustEval("algo g wcc")
+	mapped := mustEval("algo m wcc")
+	if heap.Message != mapped.Message {
+		t.Fatalf("wcc over mapped graph %q differs from heap graph %q", mapped.Message, heap.Message)
+	}
+	prHeap := mustEval("pagerank ph g")
+	prMapped := mustEval("pagerank pm m")
+	if prHeap.Message[strings.Index(prHeap.Message, ":"):] != prMapped.Message[strings.Index(prMapped.Message, ":"):] {
+		t.Fatalf("pagerank summaries diverge: %q vs %q", prHeap.Message, prMapped.Message)
+	}
+
+	// The read-only tier: graph-mutating verbs and snapshots reject it.
+	if _, err := e.Eval("totable bad m"); err == nil {
+		t.Fatalf("totable accepted a mapped graph as a mutable directed graph")
+	}
+	if _, err := e.Eval("snapshot " + filepath.Join(t.TempDir(), "ws.rngs")); err == nil || !strings.Contains(err.Error(), "mapped graph") {
+		t.Fatalf("snapshot err = %v, want mapped-binding rejection", err)
+	}
+
+	// Re-exporting a mapped binding writes a byte-stable image.
+	path2 := filepath.Join(t.TempDir(), "g2.rngm")
+	mustEval("savemapped m " + path2)
+	r2 := mustEval("loadgraph m2 " + path2)
+	if r2.Kind != "mgraph" {
+		t.Fatalf("re-exported image bound kind %q", r2.Kind)
+	}
+}
+
+func TestSaveMappedRejectsNonGraphs(t *testing.T) {
+	e := New(nil)
+	if _, err := e.Eval("gen rmat t 6 100 1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Eval("savemapped t " + filepath.Join(t.TempDir(), "t.rngm"))
+	if err == nil || !strings.Contains(err.Error(), "savemapped handles graphs") {
+		t.Fatalf("err = %v, want kind rejection", err)
+	}
+}

@@ -38,6 +38,10 @@ const (
 	metricViewCacheEntries   = "ringo_view_cache_entries"
 	metricViewCacheBytes     = "ringo_view_cache_bytes"
 
+	metricMappedBytes      = "ringo_mapped_bytes"
+	metricExtBlocksScanned = "ringo_extmem_blocks_scanned_total"
+	metricExtBlocksSkipped = "ringo_extmem_blocks_skipped_total"
+
 	metricGoroutines  = "ringo_goroutines"
 	metricHeapAlloc   = "ringo_heap_alloc_bytes"
 	metricGCPauseTot  = "ringo_gc_pause_seconds_total"
@@ -93,6 +97,22 @@ func (s *Server) initObs() {
 	reg.GaugeFunc(metricViewCacheBytes, "Estimated bytes held by resident CSR views.", func() float64 {
 		_, _, _, b := s.ViewCacheStats()
 		return float64(b)
+	})
+
+	// The beyond-RAM tier: bytes of mapped RNGM graph images across
+	// sessions (served through the page cache, not the heap), and the
+	// semi-external scheduler's block totals — skipped/scanned is the
+	// selective-scheduling win the mapped algorithms claim.
+	reg.GaugeFunc(metricMappedBytes, "File-backed bytes of mapped RNGM graphs across sessions.", func() float64 {
+		return float64(s.MappedBytes())
+	})
+	reg.CounterFunc(metricExtBlocksScanned, "Vertex blocks scanned by semi-external algorithms.", func() float64 {
+		scanned, _ := algo.ExtBlockStats()
+		return float64(scanned)
+	})
+	reg.CounterFunc(metricExtBlocksSkipped, "Vertex blocks skipped by semi-external algorithms.", func() float64 {
+		_, skipped := algo.ExtBlockStats()
+		return float64(skipped)
 	})
 
 	// Runtime gauges: cheap enough to read per scrape, and the figures the

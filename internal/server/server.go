@@ -49,6 +49,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"regexp"
 	"sort"
 	"strings"
@@ -57,6 +58,7 @@ import (
 	"time"
 
 	"ringo/internal/core"
+	"ringo/internal/extmem"
 	"ringo/internal/obs"
 	"ringo/internal/repl"
 )
@@ -277,6 +279,20 @@ func (s *Server) ViewCacheStats() (hits, misses uint64, entries int, bytes int64
 	return hits, misses, entries, bytes
 }
 
+// MappedBytes sums the file-backed bytes of mapped (RNGM) graph bindings
+// across every live session — graph data served through the OS page cache
+// rather than the Go heap, so it is reported separately from both
+// heap_bytes and the view-cache bytes on GET /stats.
+func (s *Server) MappedBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, sess := range s.sessions {
+		total += sess.eng.Workspace().MappedBytes()
+	}
+	return total
+}
+
 // Sentinel errors CreateSession wraps, so the HTTP layer can map each
 // failure mode to the right status (400 invalid, 503 full, 409 duplicate).
 var (
@@ -387,18 +403,66 @@ func (s *Server) RestoreSession(id, path string) (objects int, err error) {
 	return len(ws.Names()), nil
 }
 
-// WarmStart creates the named session and restores it from the snapshot at
-// path — the server's warm-restart entry point, used by the -restore flag
-// before the listener comes up.
+// WarmStart creates the named session and primes it from the file at path
+// — the server's warm-restart entry point, used by the -restore flag
+// before the listener comes up. The file's magic picks the path: a
+// workspace snapshot (RNGS) is decoded onto the heap as before, while a
+// mapped CSR image (RNGM, written by savemapped) is validated and served
+// from mmap in place, bound as the read-only graph "g". Either way the
+// warm-start wall time is logged, so a restart's cost difference between
+// the two tiers shows up in the operator's log (`ringo-bench -table
+// extmem` quantifies it on synthetic data).
 func (s *Server) WarmStart(id, path string) error {
 	if _, err := s.CreateSession(id); err != nil {
 		return err
 	}
-	if _, err := s.RestoreSession(id, path); err != nil {
+	start := time.Now()
+	if isMappedImage(path) {
+		mg, err := extmem.Open(path)
+		if err != nil {
+			s.DropSession(id)
+			return err
+		}
+		sess, _ := s.session(id)
+		sess.mu.Lock()
+		sess.eng.Workspace().SetWithProvenance("g", core.Object{Mapped: mg}, "warm start: "+path)
+		sess.mu.Unlock()
+		if s.logger != nil {
+			s.logger.Info("warm start",
+				"session", id, "path", path, "mode", "map",
+				"nodes", mg.NumNodes(), "edges", mg.NumEdges(),
+				"mmap", mg.Mapped(), "elapsed", time.Since(start))
+		}
+		return nil
+	}
+	n, err := s.RestoreSession(id, path)
+	if err != nil {
 		s.DropSession(id)
 		return err
 	}
+	if s.logger != nil {
+		s.logger.Info("warm start",
+			"session", id, "path", path, "mode", "decode",
+			"objects", n, "elapsed", time.Since(start))
+	}
 	return nil
+}
+
+// isMappedImage reports whether the file at path starts with the RNGM
+// magic, routing WarmStart to the map path without committing to a full
+// open. Unreadable or short files return false and fall through to the
+// snapshot decoder, whose error will name the real problem.
+func isMappedImage(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return string(magic[:]) == "RNGM"
 }
 
 // SessionIDs lists current session ids, sorted.
@@ -437,7 +501,7 @@ func (s *Server) Eval(sessionID, cmd string) (*repl.Result, error) {
 // client can never take down every analyst's in-memory session.
 func (s *Server) evalOn(sess *session, cmd string) (res *repl.Result, err error) {
 	if !s.allowFiles && repl.TouchesFiles(cmd) {
-		return nil, fmt.Errorf("file access is disabled on this server (load, loadgraph, save, snapshot, restore, source)")
+		return nil, fmt.Errorf("file access is disabled on this server (load, loadgraph, save, savemapped, snapshot, restore, source)")
 	}
 	readOnly := repl.ReadOnly(cmd)
 	if readOnly {
@@ -488,7 +552,7 @@ func (s *Server) evalScriptOn(sess *session, script *repl.Script) (res *repl.Scr
 	if !s.allowFiles {
 		if i := script.TouchesFiles(); i >= 0 {
 			st := script.Steps[i]
-			return nil, errForbidden{fmt.Errorf("file access is disabled on this server: step %d (line %d) %q needs it (load, loadgraph, save, snapshot, restore, source)",
+			return nil, errForbidden{fmt.Errorf("file access is disabled on this server: step %d (line %d) %q needs it (load, loadgraph, save, savemapped, snapshot, restore, source)",
 				i+1, st.LineNo, st.Cmd)}
 		}
 	}
@@ -871,5 +935,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": val(metricUptime),
 		"goroutines":     int(val(metricGoroutines)),
 		"heap_bytes":     uint64(val(metricHeapAlloc)),
+		"mapped_bytes":   int64(val(metricMappedBytes)),
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"ringo/internal/algo"
 	"ringo/internal/conv"
 	"ringo/internal/core"
+	"ringo/internal/extmem"
 	"ringo/internal/gen"
 	"ringo/internal/graph"
 	"ringo/internal/obs"
@@ -332,6 +333,58 @@ func LoadGraphBinary(path string) (*Graph, error) { return graph.LoadBinaryFile(
 // LoadGraphAuto loads a directed graph from either on-disk format, sniffing
 // the binary magic bytes and falling back to edge-list text.
 func LoadGraphAuto(path string) (*Graph, error) { return graph.LoadFileAuto(path) }
+
+// MappedGraph is a validated RNGM mapped CSR graph image: the beyond-RAM
+// storage tier. Its View/UView serve analytics straight off the file
+// through the page cache — no decode, no heap copy. Close it when done
+// (a GC cleanup unmaps abandoned graphs as a backstop).
+type MappedGraph = extmem.Graph
+
+// ErrNoMmap reports that this platform cannot memory-map RNGM images;
+// OpenMapped still loads them by copying the file into memory.
+var ErrNoMmap = extmem.ErrNoMmap
+
+// SaveMapped writes a directed CSR view as an RNGM mapped image — the
+// page-aligned, checksummed on-disk layout OpenMapped serves in place
+// (docs/FORMATS.md has the byte layout). Written atomically.
+func SaveMapped(path string, v *View) error { return extmem.SaveMapped(path, v) }
+
+// SaveMappedUndirected writes an undirected CSR view as an RNGM image.
+func SaveMappedUndirected(path string, u *UView) error {
+	return extmem.SaveMappedUndirected(path, u)
+}
+
+// OpenMapped validates an RNGM image and serves it from mmap where the
+// platform supports it (linux, darwin), falling back to an in-memory copy
+// elsewhere — MappedGraph.Mapped() reports which tier you got.
+func OpenMapped(path string) (*MappedGraph, error) { return extmem.Open(path) }
+
+// PageRankExt is the semi-external PageRank: vertex state on the heap,
+// edges streamed from the (typically mapped) view in blocks. Produces
+// bit-identical scores to PageRankView.
+func PageRankExt(v *View, damping float64, iters int) map[int64]float64 {
+	return algo.PageRankExt(v, damping, iters)
+}
+
+// GetWCCExt computes weakly connected components semi-externally,
+// skipping vertex blocks with no edges (identical results to GetWCCView).
+func GetWCCExt(v *View) Components { return algo.WCCExt(v) }
+
+// GetBFSExt is the semi-external BFS: level-synchronous with whole vertex
+// blocks skipped while no frontier vertex lives in them (identical results
+// to GetBFSView).
+func GetBFSExt(v *View, src int64, dir EdgeDir) map[int64]int {
+	return algo.BFSExt(v, src, dir)
+}
+
+// ExtBlockStats reports the semi-external scheduler's process-wide totals:
+// vertex blocks scanned vs skipped by the *Ext algorithms.
+func ExtBlockStats() (scanned, skipped int64) { return algo.ExtBlockStats() }
+
+// ProjectUView materializes the undirected projection of a directed CSR
+// view (the merged union of in- and out-neighbors per node) — how
+// undirected analytics run over a mapped directed image.
+func ProjectUView(v *View) *UView { return graph.ProjectUView(v) }
 
 // SaveUGraphBinary writes an undirected graph in the binary format's
 // undirected variant.

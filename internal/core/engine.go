@@ -187,23 +187,27 @@ func schemaString(t *table.Table) string {
 //
 // A Workspace is safe for concurrent use by multiple goroutines.
 type Workspace struct {
-	mu    sync.RWMutex
-	objs  map[string]Object
-	prov  map[string]string
-	ver   map[string]uint64
-	clock uint64
-	order []string
-	views *ViewCache
+	mu      sync.RWMutex
+	objs    map[string]Object
+	prov    map[string]string
+	ver     map[string]uint64
+	clock   uint64
+	order   []string
+	views   *ViewCache
+	indexes *IndexCache
 }
 
 // NewWorkspace returns an empty workspace with a view cache of
-// DefaultViewCacheEntries; resize or disable it with ConfigureViewCache.
+// DefaultViewCacheEntries and an equality-index cache of
+// DefaultIndexCacheEntries; resize or disable them with ConfigureViewCache
+// and ConfigureIndexCache.
 func NewWorkspace() *Workspace {
 	return &Workspace{
-		objs:  make(map[string]Object),
-		prov:  make(map[string]string),
-		ver:   make(map[string]uint64),
-		views: NewViewCache(DefaultViewCacheEntries),
+		objs:    make(map[string]Object),
+		prov:    make(map[string]string),
+		ver:     make(map[string]uint64),
+		views:   NewViewCache(DefaultViewCacheEntries),
+		indexes: NewIndexCache(DefaultIndexCacheEntries),
 	}
 }
 
@@ -226,6 +230,64 @@ func (w *Workspace) ViewCacheStats() (hits, misses uint64, entries int, bytes in
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	return w.views.Stats()
+}
+
+// ConfigureIndexCache resizes the workspace's equality-index cache;
+// maxEntries < 1 disables caching (every TableEqIndex call rebuilds). The
+// previous cache's contents are discarded.
+func (w *Workspace) ConfigureIndexCache(maxEntries int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if maxEntries < 1 {
+		w.indexes = nil
+		return
+	}
+	w.indexes = NewIndexCache(maxEntries)
+}
+
+// IndexCacheStats reports the equality-index cache's cumulative hits and
+// misses, the current entry count and resident bytes (zeros when disabled).
+func (w *Workspace) IndexCacheStats() (hits, misses uint64, entries int, bytes int64) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.indexes.Stats()
+}
+
+// TableEqIndex returns the equality bitmap index over col of the table
+// bound to name, built on first use and served from the fingerprint-keyed
+// index cache on every later call against the unchanged table — the
+// relational analogue of DirectedView's build-once-query-many contract. The
+// warm path is a single cache probe with no allocation. Build failures
+// (missing column, float column, cardinality over the cap) are returned —
+// and cached — as errors; callers treat any error as "filter by scanning".
+func (w *Workspace) TableEqIndex(name, col string) (*table.EqIndex, error) {
+	w.mu.RLock()
+	o, ok := w.objs[name]
+	ver := w.ver[name]
+	idxc := w.indexes
+	w.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("no object named %q", name)
+	}
+	if o.Table == nil {
+		return nil, fmt.Errorf("%q is a %s, not a table", name, o.Kind())
+	}
+	if idx, err, hit := idxc.Cached(name, ver, col); hit {
+		return idx, err
+	}
+	idx, err := idxc.Get(name, ver, col, func() (*table.EqIndex, error) {
+		return table.BuildEqIndex(o.Table, col, 0)
+	})
+	w.dropIndexIfStale(idxc, name, ver)
+	return idx, err
+}
+
+// dropIndexIfStale is dropIfStale for the index cache: it evicts indexes of
+// a binding state that was mutated away while an index build was in flight.
+func (w *Workspace) dropIndexIfStale(idxc *IndexCache, name string, ver uint64) {
+	if cur, ok := w.Version(name); !ok || cur != ver {
+		idxc.Drop(name, ver)
+	}
 }
 
 // DirectedView returns the CSR view of the directed graph bound to name,
@@ -322,6 +384,7 @@ func (w *Workspace) SetWithProvenance(name string, o Object, prov string) {
 	w.clock++
 	w.ver[name] = w.clock
 	w.views.Purge(name)
+	w.indexes.Purge(name)
 }
 
 // Delete removes a binding, reporting whether it existed.
@@ -341,6 +404,7 @@ func (w *Workspace) Delete(name string) bool {
 		}
 	}
 	w.views.Purge(name)
+	w.indexes.Purge(name)
 	return true
 }
 
@@ -379,6 +443,8 @@ func (w *Workspace) Rename(oldName, newName string) error {
 	w.ver[newName] = w.clock
 	w.views.Purge(oldName)
 	w.views.Purge(newName)
+	w.indexes.Purge(oldName)
+	w.indexes.Purge(newName)
 	return nil
 }
 
@@ -392,6 +458,7 @@ func (w *Workspace) Touch(name string) {
 		w.clock++
 		w.ver[name] = w.clock
 		w.views.Purge(name)
+		w.indexes.Purge(name)
 	}
 }
 

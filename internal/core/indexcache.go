@@ -1,0 +1,210 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"ringo/internal/table"
+)
+
+// DefaultIndexCacheEntries bounds a workspace's equality-index cache.
+// Indexes are per-(table, column) and each costs roughly
+// cardinality × NumRows/8 bytes, much smaller than CSR views, so the bound
+// is looser than the view cache's.
+const DefaultIndexCacheEntries = 32
+
+// indexKey identifies one cached equality index: the exact state of a
+// workspace table binding — its fingerprint, carried as the (name, version)
+// pair so keying is exact for any binding name — plus the indexed column.
+type indexKey struct {
+	name string
+	ver  uint64
+	col  string
+}
+
+// indexEntry is one cache slot. The index is built inside once, so
+// concurrent readers asking for the same uncached index block on a single
+// build instead of racing O(rows) scans. Build failures (missing column,
+// high cardinality) are cached too: they are fingerprint-exact facts, and
+// caching them keeps repeat filters on an unindexable column from
+// re-scanning to rediscover the failure. ready is written under the cache
+// lock after the build completes, so the lock-only fast path can serve the
+// entry without touching the sync.Once.
+type indexEntry struct {
+	key   indexKey
+	once  sync.Once
+	idx   *table.EqIndex
+	err   error
+	ready bool
+	bytes int64
+}
+
+// IndexCache is the fingerprint-keyed equality-index cache, the relational
+// sibling of ViewCache: a low-cardinality column's bitmap index is built on
+// the first equality filter and every later filter over the unchanged table
+// is served from it. Exact invalidation comes from workspace fingerprints —
+// any mutation of a binding changes its version — and the workspace
+// additionally purges entries eagerly on mutation. Bounded LRU; safe for
+// concurrent use.
+type IndexCache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List
+	items  map[indexKey]*list.Element
+	hits   uint64
+	misses uint64
+	bytes  int64
+}
+
+// NewIndexCache returns a cache holding at most max indexes (max < 1 is
+// treated as 1).
+func NewIndexCache(max int) *IndexCache {
+	if max < 1 {
+		max = 1
+	}
+	return &IndexCache{max: max, ll: list.New(), items: make(map[indexKey]*list.Element)}
+}
+
+// Cached returns the finished entry for (name, ver, col) if one is resident,
+// recording a hit. This is the warm path: one lock, one map probe, zero
+// allocations. ok reports false for absent or still-building entries.
+func (c *IndexCache) Cached(name string, ver uint64, col string) (idx *table.EqIndex, err error, ok bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.items[indexKey{name: name, ver: ver, col: col}]
+	if !found {
+		return nil, nil, false
+	}
+	ent := el.Value.(*indexEntry)
+	if !ent.ready {
+		return nil, nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.idx, ent.err, true
+}
+
+// Get returns the cached index for the binding state (name, ver) and
+// column, building it with build on a miss. A nil cache always builds.
+// Prefer Cached first on hot paths — Get's build closure argument is
+// constructed by the caller even on a hit.
+func (c *IndexCache) Get(name string, ver uint64, col string, build func() (*table.EqIndex, error)) (*table.EqIndex, error) {
+	if c == nil {
+		return build()
+	}
+	ent, el := c.acquire(indexKey{name: name, ver: ver, col: col})
+	ent.once.Do(func() {
+		ent.idx, ent.err = build()
+		var bytes int64
+		if ent.idx != nil {
+			bytes = ent.idx.Bytes()
+		}
+		c.record(ent, el, bytes)
+	})
+	return ent.idx, ent.err
+}
+
+// acquire returns the entry for key, inserting (and evicting) as needed.
+// The caller runs the build inside the entry's once.
+func (c *IndexCache) acquire(key indexKey) (*indexEntry, *list.Element) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*indexEntry), el
+	}
+	ent := &indexEntry{key: key}
+	el := c.ll.PushFront(ent)
+	c.items[key] = el
+	c.misses++
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		old := oldest.Value.(*indexEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, old.key)
+		c.bytes -= old.bytes
+	}
+	return ent, el
+}
+
+// record books the finished build's size and marks the entry servable by
+// the lock-only fast path, unless the entry was evicted while it was
+// building (then the index lives only as long as its callers).
+func (c *IndexCache) record(ent *indexEntry, el *list.Element, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent.bytes = bytes
+	ent.ready = true
+	if cur, ok := c.items[ent.key]; ok && cur == el {
+		c.bytes += bytes
+	} else {
+		ent.bytes = 0
+	}
+}
+
+// Drop removes every column's index of one exact binding state. The
+// workspace calls it when an index finished building just as its binding
+// was mutated away: the mutator's Purge ran before the insertion landed, so
+// without the drop the dead index would linger until LRU eviction.
+func (c *IndexCache) Drop(name string, ver uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if key.name == name && key.ver == ver {
+			ent := el.Value.(*indexEntry)
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.bytes -= ent.bytes
+		}
+	}
+}
+
+// Purge drops every index of the named binding, whatever its version or
+// column — the purge-on-mutate path: the binding's fingerprint has moved
+// on, so these entries can never hit again.
+func (c *IndexCache) Purge(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if key.name == name {
+			ent := el.Value.(*indexEntry)
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.bytes -= ent.bytes
+		}
+	}
+}
+
+// PurgeAll empties the cache (workspace restore: every binding's
+// fingerprint was replaced wholesale).
+func (c *IndexCache) PurgeAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+	c.bytes = 0
+}
+
+// Stats returns cumulative hits and misses, the current entry count, and
+// the estimated resident bytes of the cached indexes.
+func (c *IndexCache) Stats() (hits, misses uint64, entries int, bytes int64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len(), c.bytes
+}

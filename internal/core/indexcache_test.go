@@ -1,0 +1,322 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ringo/internal/table"
+)
+
+// testTable builds rows×(k:int, tag:string, score:float) with k drawn from
+// [0, card) and tag from a fixed small vocabulary — low-cardinality columns
+// shaped like the ones equality indexes exist for.
+func testTable(t *testing.T, rows, card int, seed int64) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tags := []string{"go", "java", "sql", "ml"}
+	tbl, err := table.New(table.Schema{
+		{Name: "k", Type: table.Int},
+		{Name: "tag", Type: table.String},
+		{Name: "score", Type: table.Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := tbl.AppendRow(int64(rng.Intn(card)), tags[rng.Intn(len(tags))], rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestTableEqIndexCachedUntilMutation(t *testing.T) {
+	ws := NewWorkspace()
+	tbl := testTable(t, 500, 7, 1)
+	ws.Set("t", Object{Table: tbl})
+
+	x1, err := ws.TableEqIndex("t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := ws.TableEqIndex("t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1 != x2 {
+		t.Fatal("second TableEqIndex on unchanged table rebuilt the index")
+	}
+	hits, misses, entries, bytes := ws.IndexCacheStats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("stats = %d hits, %d misses, %d entries; want 1/1/1", hits, misses, entries)
+	}
+	if bytes <= 0 {
+		t.Fatalf("cached index bytes = %d, want > 0", bytes)
+	}
+
+	// In-place mutation + Touch: the old index must be evicted and a fresh
+	// one built over the new rows.
+	if err := tbl.AppendRow(int64(3), "go", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	ws.Touch("t")
+	if _, _, entries, _ := ws.IndexCacheStats(); entries != 0 {
+		t.Fatalf("Touch left %d index entries", entries)
+	}
+	x3, err := ws.TableEqIndex("t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x3 == x1 {
+		t.Fatal("index served after mutation is the stale one")
+	}
+	if x3.Rows() != tbl.NumRows() {
+		t.Fatalf("post-mutation index covers %d rows, table has %d", x3.Rows(), tbl.NumRows())
+	}
+}
+
+func TestIndexPurgeOnSetDeleteRename(t *testing.T) {
+	ws := NewWorkspace()
+	ws.Set("a", Object{Table: testTable(t, 200, 5, 2)})
+	ws.Set("b", Object{Table: testTable(t, 200, 5, 3)})
+	if _, err := ws.TableEqIndex("a", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.TableEqIndex("b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, entries, _ := ws.IndexCacheStats(); entries != 2 {
+		t.Fatalf("want 2 entries, got %d", entries)
+	}
+	// Rebinding a purges its index only.
+	ws.Set("a", Object{Table: testTable(t, 200, 5, 4)})
+	if _, _, entries, _ := ws.IndexCacheStats(); entries != 1 {
+		t.Fatalf("rebind: want 1 entry left, got %d", entries)
+	}
+	// Renaming b purges it too (its identity changed).
+	if err := ws.Rename("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, entries, _ := ws.IndexCacheStats(); entries != 0 {
+		t.Fatalf("rename: want 0 entries, got %d", entries)
+	}
+	if _, err := ws.TableEqIndex("c", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if !ws.Delete("c") {
+		t.Fatal("delete failed")
+	}
+	if _, _, entries, bytes := ws.IndexCacheStats(); entries != 0 || bytes != 0 {
+		t.Fatalf("delete: want empty cache, got %d entries, %d bytes", entries, bytes)
+	}
+}
+
+func TestIndexPurgeOnRestore(t *testing.T) {
+	ws := NewWorkspace()
+	ws.Set("t", Object{Table: testTable(t, 200, 5, 5)})
+	x1, err := ws.TableEqIndex("t", "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ws.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, entries, _ := ws.IndexCacheStats(); entries != 0 {
+		t.Fatalf("restore left %d index entries", entries)
+	}
+	x2, err := ws.TableEqIndex("t", "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2 == x1 {
+		t.Fatal("index of restored object is the pre-restore one")
+	}
+}
+
+// TestIndexedVsScanResults is the correctness gate: filtering through a
+// cached index must select exactly the rows the vectorized scan selects,
+// row ids included — for present and absent values, EQ and NE, int and
+// string columns, on cold and warm fetches.
+func TestIndexedVsScanResults(t *testing.T) {
+	ws := NewWorkspace()
+	tbl := testTable(t, 1000, 6, 6)
+	ws.Set("t", Object{Table: tbl})
+
+	cases := []struct {
+		col string
+		val any
+	}{
+		{"k", int64(3)},
+		{"k", int64(99)}, // absent
+		{"tag", "java"},
+		{"tag", "rust"}, // never interned
+	}
+	for round := 0; round < 2; round++ { // round 1 hits the cache
+		for _, tc := range cases {
+			for _, op := range []table.CmpOp{table.EQ, table.NE} {
+				idx, err := ws.TableEqIndex("t", tc.col)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bm, ok := idx.Lookup(tbl, op, tc.val)
+				if !ok {
+					t.Fatalf("Lookup(%s %v %v) not servable", tc.col, op, tc.val)
+				}
+				got, err := tbl.SelectBitmap(bm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := tbl.Select(tc.col, op, tc.val)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.NumRows() != want.NumRows() {
+					t.Fatalf("round %d: %s %v %v: indexed %d rows, scan %d",
+						round, tc.col, op, tc.val, got.NumRows(), want.NumRows())
+				}
+				gids, wids := got.RowIDs(), want.RowIDs()
+				for i := range gids {
+					if gids[i] != wids[i] {
+						t.Fatalf("round %d: %s %v %v: row id %d: indexed %d, scan %d",
+							round, tc.col, op, tc.val, i, gids[i], wids[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexBuildErrorsCached pins the decision to cache build failures:
+// an unindexable column reports its error from the cache instead of paying
+// a rediscovery scan per filter.
+func TestIndexBuildErrorsCached(t *testing.T) {
+	ws := NewWorkspace()
+	tbl := testTable(t, 300, 300, 7) // k has ~300 distinct values
+	ws.Set("t", Object{Table: tbl})
+	ws.ConfigureIndexCache(8)
+
+	if _, err := ws.TableEqIndex("t", "score"); err == nil {
+		t.Fatal("float column was indexed")
+	}
+	if _, err := ws.TableEqIndex("t", "none"); err == nil {
+		t.Fatal("missing column was indexed")
+	}
+
+	big := testTable(t, 200, 5, 8)
+	// Force the cardinality cap: every k distinct.
+	for i := 0; i < 200; i++ {
+		bigK, _ := big.IntCol("k")
+		bigK[i] = int64(i)
+	}
+	ws.Set("big", Object{Table: big})
+	// The table-level cap is DefaultIndexMaxCardinality; shrink via a column
+	// that exceeds it is impractical here, so assert the error type through
+	// BuildEqIndex directly with a small cap, and the cache path with the
+	// real cap on the valid column.
+	if _, err := table.BuildEqIndex(big, "k", 10); !errors.Is(err, table.ErrHighCardinality) {
+		t.Fatalf("cap-exceeded build returned %v, want ErrHighCardinality", err)
+	}
+
+	_, misses0, _, _ := ws.IndexCacheStats()
+	if _, err := ws.TableEqIndex("t", "score"); err == nil {
+		t.Fatal("float column was indexed on repeat")
+	}
+	hits, misses, _, _ := ws.IndexCacheStats()
+	if misses != misses0 || hits == 0 {
+		t.Fatalf("repeat failing fetch was not served from cache (hits %d, misses %d -> %d)", hits, misses0, misses)
+	}
+}
+
+// TestIndexPurgeExactName guards the key scheme: purging one binding must
+// not touch another whose name merely shares a prefix — including names
+// containing '#', which a string-fingerprint prefix match would confuse.
+func TestIndexPurgeExactName(t *testing.T) {
+	ws := NewWorkspace()
+	ws.Set("t", Object{Table: testTable(t, 150, 5, 9)})
+	ws.Set("t#1", Object{Table: testTable(t, 150, 5, 10)})
+	if _, err := ws.TableEqIndex("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	x1, err := ws.TableEqIndex("t#1", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Touch("t")
+	if _, _, entries, _ := ws.IndexCacheStats(); entries != 1 {
+		t.Fatalf("purging %q left %d entries, want 1 (%q untouched)", "t", entries, "t#1")
+	}
+	x2, err := ws.TableEqIndex("t#1", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1 != x2 {
+		t.Fatalf("index of %q was rebuilt after mutating %q", "t#1", "t")
+	}
+}
+
+func TestIndexCacheLRUBound(t *testing.T) {
+	ws := NewWorkspace()
+	ws.ConfigureIndexCache(2)
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("t%d", i)
+		ws.Set(name, Object{Table: testTable(t, 100, 5, int64(i))})
+		if _, err := ws.TableEqIndex(name, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, entries, _ := ws.IndexCacheStats(); entries != 2 {
+		t.Fatalf("LRU bound 2 violated: %d entries", entries)
+	}
+}
+
+func TestIndexCacheDisabled(t *testing.T) {
+	ws := NewWorkspace()
+	ws.ConfigureIndexCache(0)
+	ws.Set("t", Object{Table: testTable(t, 200, 5, 11)})
+	x1, err := ws.TableEqIndex("t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := ws.TableEqIndex("t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1 == x2 {
+		t.Fatal("disabled cache served a cached index")
+	}
+	if hits, misses, entries, bytes := ws.IndexCacheStats(); hits != 0 || misses != 0 || entries != 0 || bytes != 0 {
+		t.Fatal("disabled cache reported non-zero stats")
+	}
+}
+
+// TestWarmIndexFetchAllocs pins the acceptance criterion: a warm index
+// fetch plus an EQ lookup allocates nothing — one lock, one map probe, one
+// shared bitmap out.
+func TestWarmIndexFetchAllocs(t *testing.T) {
+	ws := NewWorkspace()
+	tbl := testTable(t, 2000, 5, 12)
+	ws.Set("t", Object{Table: tbl})
+	if _, err := ws.TableEqIndex("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	var val any = int64(3) // hoisted so interface boxing isn't charged to the fetch
+	allocs := testing.AllocsPerRun(100, func() {
+		idx, err := ws.TableEqIndex("t", "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := idx.Lookup(tbl, table.EQ, val); !ok {
+			t.Fatal("lookup not servable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm index fetch does %v allocs/op, want 0", allocs)
+	}
+}

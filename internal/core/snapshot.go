@@ -80,9 +80,10 @@ func (w *Workspace) Restore(in io.Reader) error {
 		}
 	}
 	w.clock = base + maxVer
-	// Every binding was replaced wholesale; no pre-restore view can ever be
-	// asked for again, so drop them all.
+	// Every binding was replaced wholesale; no pre-restore view or index can
+	// ever be asked for again, so drop them all.
 	w.views.PurgeAll()
+	w.indexes.PurgeAll()
 	return nil
 }
 

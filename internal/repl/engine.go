@@ -146,6 +146,9 @@ var verbs = map[string]verb{
 	"stats": {run: func(e *Engine, r *Result, _ []string) error {
 		return e.cmdStats(r)
 	}},
+	"indexes": {run: func(e *Engine, r *Result, _ []string) error {
+		return e.cmdIndexes(r)
+	}},
 	"save":       {run: (*Engine).cmdSave, files: true},
 	"savemapped": {run: (*Engine).cmdSaveMapped, files: true},
 	"snapshot":   {run: (*Engine).cmdSnapshot, files: true},
@@ -234,6 +237,7 @@ const HelpText = `Ringo interactive shell — verbs over named objects.
   mv <old> <new>                           rename a workspace object
   ls                                       list workspace objects
   stats                                    per-verb call counts and latency percentiles
+  indexes                                  equality-index cache statistics
   show <tbl> [rows]                        print the first rows of a table
   save <obj> <file>                        write a table as TSV or a graph as binary
   savemapped <graph> <file>                write a graph as a mappable CSR image (RNGM)
@@ -464,13 +468,30 @@ func (e *Engine) cmdSelect(r *Result, args []string) error {
 	}
 	// The value may contain spaces if quoted crudely; join the rest.
 	val := parseValue(strings.Join(args[4:], " "))
-	out, err := t.Select(args[2], op, val)
+	out, err := e.selectRows(args[1], t, args[2], op, val)
 	if err != nil {
 		return err
 	}
 	e.bind(r, args[0], core.Object{Table: out})
 	r.Message = fmt.Sprintf("%s: %d rows", args[0], out.NumRows())
 	return nil
+}
+
+// selectRows executes one comparison filter. Equality filters try the
+// workspace's cached equality index first — on a warm cache the filter is
+// a bitmap lookup plus a row gather, no column scan — and fall back
+// silently to the vectorized scan when the column isn't indexable (float,
+// high cardinality) or the lookup can't serve the operator. Both paths
+// select identical rows, so the fallback is invisible to the caller.
+func (e *Engine) selectRows(name string, t *table.Table, col string, op table.CmpOp, val any) (*table.Table, error) {
+	if op == table.EQ || op == table.NE {
+		if idx, err := e.ws.TableEqIndex(name, col); err == nil {
+			if bm, ok := idx.Lookup(t, op, val); ok {
+				return t.SelectBitmap(bm)
+			}
+		}
+	}
+	return t.Select(col, op, val)
 }
 
 // cmdFilter is expression select: filter <out> <tbl> <predicate...>, e.g.

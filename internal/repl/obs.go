@@ -96,6 +96,21 @@ func (e *Engine) observe(verb string, args []string, elapsed time.Duration, err 
 	}
 }
 
+// cmdIndexes renders the workspace's equality-index cache statistics: how
+// often select filters were served from a cached bitmap index versus built
+// one, and what the resident indexes cost. Read-only.
+func (e *Engine) cmdIndexes(r *Result) error {
+	hits, misses, entries, bytes := e.ws.IndexCacheStats()
+	r.Columns = []string{"hits", "misses", "entries", "bytes"}
+	r.Rows = append(r.Rows, []string{
+		strconv.FormatUint(hits, 10),
+		strconv.FormatUint(misses, 10),
+		strconv.Itoa(entries),
+		strconv.FormatInt(bytes, 10),
+	})
+	return nil
+}
+
 // cmdStats renders the engine's per-verb telemetry: call and error counts
 // plus latency percentiles extracted from the log₂ histograms. Read-only;
 // an engine that has evaluated nothing reports that instead of an empty

@@ -47,7 +47,7 @@ func (r *Result) Render(w io.Writer) {
 		if r.Truncated > 0 {
 			fmt.Fprintf(w, "  ... %d more rows\n", r.Truncated)
 		}
-	case "stats":
+	case "stats", "indexes":
 		if len(r.Rows) == 0 {
 			fmt.Fprintln(w, r.Message)
 			return

@@ -8,6 +8,7 @@ import (
 
 	"ringo/internal/algo"
 	"ringo/internal/obs"
+	"ringo/internal/table"
 )
 
 // Metric families the HTTP layer records. Per-verb engine metrics
@@ -37,6 +38,12 @@ const (
 	metricViewCacheMisses    = "ringo_view_cache_misses_total"
 	metricViewCacheEntries   = "ringo_view_cache_entries"
 	metricViewCacheBytes     = "ringo_view_cache_bytes"
+
+	metricIndexCacheHits    = "ringo_index_cache_hits_total"
+	metricIndexCacheMisses  = "ringo_index_cache_misses_total"
+	metricIndexCacheEntries = "ringo_index_cache_entries"
+	metricIndexCacheBytes   = "ringo_index_cache_bytes"
+	metricTableFilterRows   = "ringo_table_filter_rows_total"
 
 	metricMappedBytes      = "ringo_mapped_bytes"
 	metricExtBlocksScanned = "ringo_extmem_blocks_scanned_total"
@@ -97,6 +104,29 @@ func (s *Server) initObs() {
 	reg.GaugeFunc(metricViewCacheBytes, "Estimated bytes held by resident CSR views.", func() float64 {
 		_, _, _, b := s.ViewCacheStats()
 		return float64(b)
+	})
+
+	// Equality-index caches, aggregated the same way, plus the process-wide
+	// count of rows produced by table filters — the denominator that makes
+	// the index hit rate meaningful.
+	reg.CounterFunc(metricIndexCacheHits, "Equality-index cache hits across sessions.", func() float64 {
+		h, _, _, _ := s.IndexCacheStats()
+		return float64(h)
+	})
+	reg.CounterFunc(metricIndexCacheMisses, "Equality-index cache misses across sessions.", func() float64 {
+		_, m, _, _ := s.IndexCacheStats()
+		return float64(m)
+	})
+	reg.GaugeFunc(metricIndexCacheEntries, "Equality indexes resident across sessions.", func() float64 {
+		_, _, n, _ := s.IndexCacheStats()
+		return float64(n)
+	})
+	reg.GaugeFunc(metricIndexCacheBytes, "Estimated bytes held by resident equality indexes.", func() float64 {
+		_, _, _, b := s.IndexCacheStats()
+		return float64(b)
+	})
+	reg.CounterFunc(metricTableFilterRows, "Rows scanned by table filters, process-wide.", func() float64 {
+		return float64(table.FilterRowsTotal())
 	})
 
 	// The beyond-RAM tier: bytes of mapped RNGM graph images across

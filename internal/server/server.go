@@ -279,6 +279,22 @@ func (s *Server) ViewCacheStats() (hits, misses uint64, entries int, bytes int64
 	return hits, misses, entries, bytes
 }
 
+// IndexCacheStats aggregates the per-session equality-index caches:
+// cumulative hits and misses, current entries, and estimated resident
+// bytes across every live session.
+func (s *Server) IndexCacheStats() (hits, misses uint64, entries int, bytes int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sess := range s.sessions {
+		h, m, e, b := sess.eng.Workspace().IndexCacheStats()
+		hits += h
+		misses += m
+		entries += e
+		bytes += b
+	}
+	return hits, misses, entries, bytes
+}
+
 // MappedBytes sums the file-backed bytes of mapped (RNGM) graph bindings
 // across every live session — graph data served through the OS page cache
 // rather than the Go heap, so it is reported separately from both
@@ -931,6 +947,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"misses":  uint64(val(metricViewCacheMisses)),
 			"entries": int(val(metricViewCacheEntries)),
 			"bytes":   int64(val(metricViewCacheBytes)),
+		},
+		"indexes": map[string]any{
+			"hits":    uint64(val(metricIndexCacheHits)),
+			"misses":  uint64(val(metricIndexCacheMisses)),
+			"entries": int(val(metricIndexCacheEntries)),
+			"bytes":   int64(val(metricIndexCacheBytes)),
 		},
 		"uptime_seconds": val(metricUptime),
 		"goroutines":     int(val(metricGoroutines)),

@@ -19,44 +19,62 @@ import (
 // parentheses for grouping. Values are parsed as int, then float, then
 // string; quote with single or double quotes to force a string or include
 // spaces.
+//
+// Parsing produces a predNode tree (pred.go). SelectExpr executes it with
+// the vectorized bitmap backend (vector.go); CompileExpr lowers it to the
+// per-row closure chain, the compatibility path and equivalence oracle.
 
-// SelectExpr returns the rows satisfying the predicate expression.
+// SelectExpr returns the rows satisfying the predicate expression,
+// evaluated column-at-a-time over bitmap selection vectors.
 func (t *Table) SelectExpr(expr string) (*Table, error) {
-	pred, err := t.CompileExpr(expr)
+	node, err := t.parseExpr(expr)
 	if err != nil {
 		return nil, err
 	}
-	return t.selectPred(pred, false), nil
+	return t.selectBitmap(t.evalNode(node)), nil
 }
 
 // SelectExprInPlace filters the table in place with a predicate expression,
-// reporting the number of rows kept.
+// reporting the number of rows kept. It honors the same aliasing contract
+// as SelectInPlace: column storage is compacted forward (capacity kept) and
+// the table's string-pool identity is preserved.
 func (t *Table) SelectExprInPlace(expr string) (int, error) {
-	pred, err := t.CompileExpr(expr)
+	node, err := t.parseExpr(expr)
 	if err != nil {
 		return 0, err
 	}
-	out := t.selectPred(pred, true)
-	*t = *out
-	return t.NumRows(), nil
+	return t.compactBitmap(t.evalNode(node)), nil
 }
 
 // CompileExpr compiles a predicate expression into a per-row function. The
 // function is safe for concurrent calls on distinct rows.
 func (t *Table) CompileExpr(expr string) (func(row int) bool, error) {
+	node, err := t.parseExpr(expr)
+	if err != nil {
+		return nil, err
+	}
+	return t.compileNode(node), nil
+}
+
+// parseExpr lexes and parses one predicate expression into a resolved tree.
+func (t *Table) parseExpr(expr string) (*predNode, error) {
 	toks, err := lexExpr(expr)
 	if err != nil {
 		return nil, err
 	}
 	p := &exprParser{t: t, toks: toks}
-	pred, err := p.parseOr()
+	node, err := p.parseOr()
 	if err != nil {
 		return nil, err
 	}
 	if p.pos != len(p.toks) {
+		// The parser only ever advances pos past tokens it consumed, so
+		// pos <= len(toks) always holds; reaching here means pos < len and
+		// the index below is in bounds. A dangling connective ("a = 1 and")
+		// never lands here — parseTerm reports the missing condition first.
 		return nil, fmt.Errorf("table: unexpected %q at end of expression", p.toks[p.pos].text)
 	}
-	return pred, nil
+	return node, nil
 }
 
 type tokKind int
@@ -174,7 +192,7 @@ func (p *exprParser) keyword(word string) bool {
 	return false
 }
 
-func (p *exprParser) parseOr() (func(int) bool, error) {
+func (p *exprParser) parseOr() (*predNode, error) {
 	left, err := p.parseAnd()
 	if err != nil {
 		return nil, err
@@ -184,13 +202,12 @@ func (p *exprParser) parseOr() (func(int) bool, error) {
 		if err != nil {
 			return nil, err
 		}
-		l, r := left, right
-		left = func(row int) bool { return l(row) || r(row) }
+		left = &predNode{kind: predOr, left: left, right: right}
 	}
 	return left, nil
 }
 
-func (p *exprParser) parseAnd() (func(int) bool, error) {
+func (p *exprParser) parseAnd() (*predNode, error) {
 	left, err := p.parseTerm()
 	if err != nil {
 		return nil, err
@@ -200,19 +217,18 @@ func (p *exprParser) parseAnd() (func(int) bool, error) {
 		if err != nil {
 			return nil, err
 		}
-		l, r := left, right
-		left = func(row int) bool { return l(row) && r(row) }
+		left = &predNode{kind: predAnd, left: left, right: right}
 	}
 	return left, nil
 }
 
-func (p *exprParser) parseTerm() (func(int) bool, error) {
+func (p *exprParser) parseTerm() (*predNode, error) {
 	if p.keyword("not") {
 		inner, err := p.parseTerm()
 		if err != nil {
 			return nil, err
 		}
-		return func(row int) bool { return !inner(row) }, nil
+		return &predNode{kind: predNot, left: inner}, nil
 	}
 	tok, ok := p.peek()
 	if !ok {
@@ -233,7 +249,7 @@ func (p *exprParser) parseTerm() (func(int) bool, error) {
 	return p.parseComparison()
 }
 
-func (p *exprParser) parseComparison() (func(int) bool, error) {
+func (p *exprParser) parseComparison() (*predNode, error) {
 	col, ok := p.peek()
 	if !ok || (col.kind != tokWord && col.kind != tokString) {
 		return nil, fmt.Errorf("table: expected a column name, got %q", col.text)
@@ -289,5 +305,9 @@ func (p *exprParser) parseComparison() (func(int) bool, error) {
 	default:
 		val = valTok.text
 	}
-	return p.t.compilePred(col.text, op, val)
+	leaf, err := p.t.resolveLeaf(col.text, op, val)
+	if err != nil {
+		return nil, err
+	}
+	return &predNode{kind: predLeaf, leaf: leaf}, nil
 }

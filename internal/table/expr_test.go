@@ -118,7 +118,13 @@ func TestSelectExprErrors(t *testing.T) {
 		"Tag ! Java",
 		"and Tag = Java",
 		"Tag = Java and",
+		"Tag = Java or",
+		"Tag = Java and not",
+		"Tag = Java and (",
+		"(",
+		")",
 		"not",
+		"not not",
 	} {
 		if _, err := tbl.SelectExpr(expr); err == nil {
 			t.Fatalf("expression %q accepted", expr)

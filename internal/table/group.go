@@ -43,7 +43,15 @@ func (op AggOp) String() string {
 // ids are dense in first-occurrence order. This is Ringo's in-place
 // grouping: the table itself is not modified and row identifiers let callers
 // track members of each group.
+//
+// Grouping by a single column iterates that column's storage directly
+// (values for Int, interned ids for String, bit patterns for Float) with no
+// per-row key bytes materialized; multi-column grouping falls back to the
+// canonical rowkey encoding.
 func (t *Table) Group(cols ...string) (ids []int, groups int, err error) {
+	if len(cols) == 1 {
+		return t.groupSingle(cols[0])
+	}
 	enc, err := newRowKeyEncoder(t, cols)
 	if err != nil {
 		return nil, 0, err
@@ -57,6 +65,44 @@ func (t *Table) Group(cols ...string) (ids []int, groups int, err error) {
 		if !ok {
 			id = len(seen)
 			seen[k] = id
+		}
+		ids[row] = id
+	}
+	return ids, len(seen), nil
+}
+
+// groupSingle is the column-direct fast path of Group: group ids come from
+// one map probe per row over the column's raw int64/float64 storage. String
+// columns group by interned id — equal ids iff equal strings, the same
+// classes the rowkey encoding produces — and Float columns by bit pattern,
+// matching the rowkey's Float64bits encoding.
+func (t *Table) groupSingle(col string) (ids []int, groups int, err error) {
+	i := t.ColIndex(col)
+	if i < 0 {
+		return nil, 0, fmt.Errorf("table: no column %q", col)
+	}
+	n := t.NumRows()
+	ids = make([]int, n)
+	seen := make(map[int64]int)
+	if t.cols[i].Type == Float {
+		data := t.floats[i]
+		for row := 0; row < n; row++ {
+			k := int64(math.Float64bits(data[row]))
+			id, ok := seen[k]
+			if !ok {
+				id = len(seen)
+				seen[k] = id
+			}
+			ids[row] = id
+		}
+		return ids, len(seen), nil
+	}
+	data := t.ints[i]
+	for row := 0; row < n; row++ {
+		id, ok := seen[data[row]]
+		if !ok {
+			id = len(seen)
+			seen[data[row]] = id
 		}
 		ids[row] = id
 	}
@@ -231,10 +277,28 @@ func (t *Table) Aggregate(groupCols []string, op AggOp, valCol, outCol string) (
 
 // Unique returns a new table keeping the first row of each distinct
 // combination of values in the named columns (all columns if none are
-// given). Row identifiers of kept rows are preserved.
+// given). Row identifiers of kept rows are preserved. A single column
+// deduplicates over its raw storage directly (the Group fast path); multiple
+// columns go through the rowkey encoding.
 func (t *Table) Unique(cols ...string) (*Table, error) {
 	if len(cols) == 0 {
 		cols = t.ColNames()
+	}
+	if len(cols) == 1 {
+		ids, groups, err := t.groupSingle(cols[0])
+		if err != nil {
+			return nil, err
+		}
+		out := t.freshLike(groups)
+		next := 0
+		for row, id := range ids {
+			if id == next { // first occurrence: group ids are dense in first-occurrence order
+				out.appendRowFrom(t, row)
+				next++
+			}
+		}
+		out.nextID = t.nextID
+		return out, nil
 	}
 	enc, err := newRowKeyEncoder(t, cols)
 	if err != nil {

@@ -1,0 +1,144 @@
+package table
+
+import "fmt"
+
+// This file defines the resolved predicate representation shared by the two
+// execution backends. Parsing (expr.go) and the Select API both lower to a
+// tree of predNodes whose leaves are column-resolved, constant-coerced
+// comparisons; the vectorized backend (vector.go) evaluates the tree
+// column-at-a-time into a selection bitmap, and the closure backend below
+// compiles it to a per-row func — kept as the compatibility path
+// (CompileExpr, SelectFunc) and as the equivalence oracle the fuzz and
+// randomized tests check the vectorized path against.
+
+type predKind uint8
+
+const (
+	predLeaf predKind = iota
+	predAnd
+	predOr
+	predNot
+)
+
+// leafPred is one column-vs-constant comparison, resolved against a table:
+// the column position, the operator, and the constant coerced to the
+// column's runtime representation.
+type leafPred struct {
+	col int
+	op  CmpOp
+	typ Type
+	// ic carries the constant for Int comparisons and for interned-id
+	// string equality; fc for Float comparisons; sc holds the string
+	// constant for ordering comparisons over string columns.
+	ic int64
+	fc float64
+	sc string
+	// missing marks a string EQ/NE whose constant was never interned in the
+	// table's pool: it matches nothing (EQ) or everything (NE) without
+	// touching the column.
+	missing bool
+}
+
+// predNode is a node of a parsed predicate tree. left/right are set for
+// connectives (right is nil for predNot); leaf is set for predLeaf.
+type predNode struct {
+	kind        predKind
+	left, right *predNode
+	leaf        leafPred
+}
+
+// resolveLeaf validates the named column and coerces the constant to the
+// column's type, producing the leaf both backends execute.
+func (t *Table) resolveLeaf(col string, op CmpOp, val any) (leafPred, error) {
+	i := t.ColIndex(col)
+	if i < 0 {
+		return leafPred{}, fmt.Errorf("table: no column %q", col)
+	}
+	l := leafPred{col: i, op: op, typ: t.cols[i].Type}
+	switch l.typ {
+	case Int:
+		c, ok := toInt64(val)
+		if !ok {
+			return leafPred{}, fmt.Errorf("table: Select on int column %q with %T constant", col, val)
+		}
+		l.ic = c
+	case Float:
+		c, ok := toFloat64(val)
+		if !ok {
+			return leafPred{}, fmt.Errorf("table: Select on float column %q with %T constant", col, val)
+		}
+		l.fc = c
+	default:
+		s, ok := val.(string)
+		if !ok {
+			return leafPred{}, fmt.Errorf("table: Select on string column %q with %T constant", col, val)
+		}
+		l.sc = s
+		if op == EQ || op == NE {
+			// Equality compares interned ids. A never-interned constant
+			// matches nothing (EQ) or everything (NE).
+			id, interned := t.pool.Lookup(s)
+			if !interned {
+				l.missing = true
+			} else {
+				l.ic = int64(id)
+			}
+		}
+	}
+	return l, nil
+}
+
+// leafFunc compiles a resolved leaf to a per-row predicate, the row-at-a-time
+// backend. Benchmarked in Table 4 of the paper: "rows are chosen based on a
+// comparison with a constant value".
+func (t *Table) leafFunc(l leafPred) func(row int) bool {
+	switch l.typ {
+	case Int:
+		data, c, op := t.ints[l.col], l.ic, l.op
+		return func(row int) bool { return cmpInt(data[row], c, op) }
+	case Float:
+		data, c, op := t.floats[l.col], l.fc, l.op
+		return func(row int) bool { return cmpFloat(data[row], c, op) }
+	default:
+		if l.op == EQ || l.op == NE {
+			if l.missing {
+				if l.op == EQ {
+					return func(row int) bool { return false }
+				}
+				return func(row int) bool { return true }
+			}
+			data, c, op := t.ints[l.col], l.ic, l.op
+			return func(row int) bool { return cmpInt(data[row], c, op) }
+		}
+		data, pool, s, op := t.ints[l.col], t.pool, l.sc, l.op
+		return func(row int) bool { return cmpString(pool.Get(int32(data[row])), s, op) }
+	}
+}
+
+// compileNode lowers a predicate tree to the closure chain of the
+// row-at-a-time backend.
+func (t *Table) compileNode(n *predNode) func(row int) bool {
+	switch n.kind {
+	case predLeaf:
+		return t.leafFunc(n.leaf)
+	case predNot:
+		inner := t.compileNode(n.left)
+		return func(row int) bool { return !inner(row) }
+	case predAnd:
+		l, r := t.compileNode(n.left), t.compileNode(n.right)
+		return func(row int) bool { return l(row) && r(row) }
+	default: // predOr
+		l, r := t.compileNode(n.left), t.compileNode(n.right)
+		return func(row int) bool { return l(row) || r(row) }
+	}
+}
+
+// compilePred resolves and compiles a single comparison to a per-row
+// predicate — the closure-path equivalent of one leaf.
+func (t *Table) compilePred(col string, op CmpOp, val any) (func(row int) bool, error) {
+	l, err := t.resolveLeaf(col, op, val)
+	if err != nil {
+		return nil, err
+	}
+	return t.leafFunc(l), nil
+}

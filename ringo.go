@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"ringo/internal/algo"
+	"ringo/internal/bitmap"
 	"ringo/internal/conv"
 	"ringo/internal/core"
 	"ringo/internal/extmem"
@@ -116,6 +117,15 @@ type (
 	AggOp = table.AggOp
 	// Metric is a SimJoin distance metric.
 	Metric = table.Metric
+	// Bitmap is the dense selection vector the vectorized execution
+	// backend produces: one bit per row, combined wordwise by the boolean
+	// connectives, consumed by Table.SelectBitmap.
+	Bitmap = bitmap.Bitmap
+	// EqIndex is a per-column equality bitmap index: one selection bitmap
+	// per distinct value of a low-cardinality int or string column.
+	// Workspaces build and cache them by table fingerprint
+	// (Workspace.TableEqIndex); BuildEqIndex constructs one standalone.
+	EqIndex = table.EqIndex
 
 	// Graph is the dynamic directed graph (§2.2): a hash table of nodes
 	// with sorted in/out adjacency vectors.
@@ -222,9 +232,29 @@ func Select(t *Table, col string, op CmpOp, val any) (*Table, error) {
 
 // SelectExpr filters with a string predicate, the exact front-end form the
 // paper shows: ringo.SelectExpr(P, "Tag=Java"). Predicates combine
-// column-constant comparisons with and/or/not and parentheses.
+// column-constant comparisons with and/or/not and parentheses, and execute
+// column-at-a-time over bitmap selection vectors (see
+// docs/ARCHITECTURE.md, "Table execution").
 func SelectExpr(t *Table, expr string) (*Table, error) {
 	return t.SelectExpr(expr)
+}
+
+// DefaultIndexMaxCardinality bounds how many distinct values a column may
+// hold and still be equality-indexable (BuildEqIndex's maxCard <= 0).
+const DefaultIndexMaxCardinality = table.DefaultIndexMaxCardinality
+
+// ErrHighCardinality reports that a column exceeds the equality-index
+// cardinality cap; BuildEqIndex errors wrap it.
+var ErrHighCardinality = table.ErrHighCardinality
+
+// BuildEqIndex builds an equality bitmap index over a low-cardinality int
+// or string column: one selection bitmap per distinct value, answering
+// EQ/NE filters without a column scan (EqIndex.Lookup + SelectBitmap).
+// maxCard <= 0 means DefaultIndexMaxCardinality. Prefer
+// Workspace.TableEqIndex for workspace tables — indexes are then cached by
+// fingerprint and purged on mutation.
+func BuildEqIndex(t *Table, col string, maxCard int) (*EqIndex, error) {
+	return table.BuildEqIndex(t, col, maxCard)
 }
 
 // Join equi-joins two tables — the paper's ringo.Join(Q, A, 'AnswerId',

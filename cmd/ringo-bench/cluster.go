@@ -1,0 +1,151 @@
+package main
+
+// The cluster report publishes the read-fanout curve of the replica tier:
+// requests/sec through the coordinator for the same read-only workload as
+// the replica count grows from 0 (every read falls through to the primary
+// — the single-process baseline) to 3. All nodes run in-process here, so
+// the curve shows the coordinator's routing overhead and contention
+// behavior honestly but shares one machine's cores across every "node";
+// the scaling headroom a real deployment gets from separate machines is
+// exactly what this single-host setup cannot show. cmd/ringo-loadtest is
+// the process-per-node version of the same measurement.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringo/internal/cluster"
+	"ringo/internal/core"
+	"ringo/internal/repl"
+	"ringo/internal/server"
+)
+
+// ClusterFanout measures coordinator read throughput at replica counts
+// 0..3 over an in-process cluster.
+func ClusterFanout() (core.Report, error) {
+	const (
+		workers  = 8
+		requests = 2000
+	)
+	rep := core.Report{
+		Title:  "cluster: read-only requests/sec vs replica count (in-process)",
+		Header: []string{"replicas", "requests", "elapsed", "req/s", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("%d concurrent clients, %d requests of a cached read-only query per row", workers, requests),
+			"replicas=0 routes every read to the primary: the single-process baseline",
+			fmt.Sprintf("all nodes share this host's %d core(s); process-per-node scaling needs cmd/ringo-loadtest -spawn on a multi-core host", runtime.GOMAXPROCS(0)),
+		},
+	}
+
+	var baseline float64
+	for _, n := range []int{0, 1, 2, 3} {
+		reqPerSec, err := fanoutRow(n, workers, requests)
+		if err != nil {
+			return core.Report{}, fmt.Errorf("replicas=%d: %w", n, err)
+		}
+		if n == 0 {
+			baseline = reqPerSec
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", requests),
+			fmt.Sprintf("%.2fs", float64(requests)/reqPerSec),
+			fmt.Sprintf("%.0f", reqPerSec),
+			fmt.Sprintf("%.2fx", reqPerSec/baseline),
+		})
+	}
+	return rep, nil
+}
+
+// fanoutRow builds a primary + n replicas, ships, and hammers the
+// coordinator with the read workload, returning requests/sec.
+func fanoutRow(n, workers, requests int) (float64, error) {
+	shipDir, err := os.MkdirTemp("", "ringo-cluster-bench")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(shipDir)
+
+	newNode := func() (*server.Server, *httptest.Server) {
+		srv := server.New(server.Config{AllowFileIO: true})
+		return srv, httptest.NewServer(srv)
+	}
+	psrv, pts := newNode()
+	defer pts.Close()
+	defer psrv.Close()
+	if _, err := psrv.CreateSession("main"); err != nil {
+		return 0, err
+	}
+	seed, err := repl.ParseScript("gen rmat E 12 20000 7\ntograph G E src dst\npagerank PR G")
+	if err != nil {
+		return 0, err
+	}
+	if sr, err := psrv.EvalScript("main", seed); err != nil {
+		return 0, err
+	} else if err := sr.Err(); err != nil {
+		return 0, err
+	}
+
+	var replicaURLs []string
+	for i := 0; i < n; i++ {
+		rsrv, rts := newNode()
+		defer rts.Close()
+		defer rsrv.Close()
+		replicaURLs = append(replicaURLs, rts.URL)
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Primary:  pts.URL,
+		Replicas: replicaURLs,
+		ShipPath: filepath.Join(shipDir, "ship.rngs"),
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer coord.Close()
+	if err := coord.Ship(); err != nil {
+		return 0, err
+	}
+	cts := httptest.NewServer(coord)
+	defer cts.Close()
+
+	body, _ := json.Marshal(map[string]string{"cmd": "top PR 5"})
+	url := cts.URL + "/sessions/main/query"
+	var next, failures atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(requests) {
+				resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if f := failures.Load(); f > 0 {
+		return 0, fmt.Errorf("%d failed requests", f)
+	}
+	return float64(requests) / elapsed.Seconds(), nil
+}

@@ -1,0 +1,315 @@
+// Command ringo-loadtest publishes the cluster tier's headline number: the
+// requests/sec-vs-replica-count curve for read-only traffic through
+// ringo-coord (docs/CLUSTER.md).
+//
+// Two modes:
+//
+//	# Drive an already-running coordinator:
+//	ringo-loadtest -url http://localhost:7070 -workers 16 -duration 10s
+//
+//	# Self-contained curve: spawn a primary + up to N replica ringo-server
+//	# processes (one OS process per node, GOMAXPROCS capped per node so the
+//	# nodes share a machine the way a commodity cluster's nodes each own
+//	# their cores), coordinate them in-process, and measure each replica
+//	# count from 0 to N:
+//	go build -o ringo-server ./cmd/ringo-server
+//	ringo-loadtest -spawn 3 -server-bin ./ringo-server -duration 5s
+//
+// The curve's shape depends on the host: with at least one core per node,
+// read throughput grows near-linearly with replicas (replicas=0 is the
+// single-process baseline — the speedup column reads directly as fan-out
+// gain); on fewer cores than nodes the curve flattens, which the report's
+// notes call out rather than hide.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ringo/internal/cluster"
+	"ringo/internal/core"
+	"ringo/internal/obs"
+)
+
+func main() {
+	coordURL := flag.String("url", "", "drive this running coordinator (mutually exclusive with -spawn)")
+	spawn := flag.Int("spawn", 0, "self-contained mode: spawn a primary + up to N replica ringo-server processes and measure replica counts 0..N")
+	serverBin := flag.String("server-bin", "", "path to the ringo-server binary (required with -spawn)")
+	nodeProcs := flag.Int("node-procs", 1, "GOMAXPROCS per spawned node: each node owns this many cores, like a commodity cluster node")
+	session := flag.String("session", cluster.DefaultSession, "replicated serving session")
+	cmd := flag.String("cmd", "top PR 5", "read-only command each request sends")
+	seed := flag.String("seed", "gen rmat E 14 100000 7;tograph G E src dst;pagerank PR G", "semicolon-separated commands seeding the primary (-spawn mode)")
+	workers := flag.Int("workers", 16, "concurrent client connections")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window per replica count")
+	flag.Parse()
+
+	switch {
+	case *coordURL != "" && *spawn > 0:
+		log.Fatal("ringo-loadtest: -url and -spawn are mutually exclusive")
+	case *coordURL == "" && *spawn == 0:
+		log.Fatal("ringo-loadtest: need -url (existing coordinator) or -spawn N (self-contained)")
+	case *spawn > 0 && *serverBin == "":
+		log.Fatal("ringo-loadtest: -spawn needs -server-bin (go build -o ringo-server ./cmd/ringo-server)")
+	}
+
+	if *coordURL != "" {
+		row, err := drive(*coordURL, *session, *cmd, *workers, *duration)
+		if err != nil {
+			log.Fatalf("ringo-loadtest: %v", err)
+		}
+		rep := core.Report{
+			Title:  "cluster load test: " + *coordURL,
+			Header: []string{"workers", "requests", "req/s", "p50", "p90", "p99", "errors", "targets"},
+			Rows:   [][]string{row.cells(*workers)},
+			Notes:  []string{fmt.Sprintf("%s window, command %q on session %q", duration, *cmd, *session)},
+		}
+		rep.Print(os.Stdout)
+		return
+	}
+
+	rep, err := curve(*spawn, *serverBin, *nodeProcs, *session, *cmd, *seed, *workers, *duration)
+	if err != nil {
+		log.Fatalf("ringo-loadtest: %v", err)
+	}
+	rep.Print(os.Stdout)
+}
+
+// result is one measurement window's outcome.
+type result struct {
+	requests int64
+	errors   int64
+	reqPerS  float64
+	hist     *obs.Histogram
+	targets  map[string]int64
+}
+
+func (r result) cells(workers int) []string {
+	var tparts []string
+	for name, n := range r.targets {
+		tparts = append(tparts, fmt.Sprintf("%s:%d", name, n))
+	}
+	return []string{
+		fmt.Sprintf("%d", workers),
+		fmt.Sprintf("%d", r.requests),
+		fmt.Sprintf("%.0f", r.reqPerS),
+		r.hist.Quantile(0.50).Round(time.Microsecond).String(),
+		r.hist.Quantile(0.90).Round(time.Microsecond).String(),
+		r.hist.Quantile(0.99).Round(time.Microsecond).String(),
+		fmt.Sprintf("%d", r.errors),
+		strings.Join(tparts, " "),
+	}
+}
+
+// drive hammers one coordinator with the read workload for the window and
+// reports throughput, latency percentiles and who served what.
+func drive(coordURL, session, cmd string, workers int, window time.Duration) (result, error) {
+	body, _ := json.Marshal(map[string]string{"cmd": cmd})
+	url := coordURL + "/sessions/" + session + "/query"
+	res := result{hist: &obs.Histogram{}, targets: map[string]int64{}}
+	var mu sync.Mutex
+	var requests, errors atomic.Int64
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				target := resp.Header.Get("X-Ringo-Target")
+				resp.Body.Close()
+				res.hist.Observe(time.Since(start))
+				requests.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+					continue
+				}
+				mu.Lock()
+				res.targets[target]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.requests = requests.Load()
+	res.errors = errors.Load()
+	res.reqPerS = float64(res.requests) / window.Seconds()
+	if res.requests == 0 {
+		return res, fmt.Errorf("no request completed against %s", coordURL)
+	}
+	return res, nil
+}
+
+// curve spawns node processes and measures every replica count 0..n.
+func curve(n int, serverBin string, nodeProcs int, session, cmd, seed string, workers int, window time.Duration) (core.Report, error) {
+	rep := core.Report{
+		Title:  "cluster load test: requests/sec vs replica count (process per node)",
+		Header: []string{"replicas", "requests", "req/s", "p50", "p99", "errors", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("%d clients, %s window per row, command %q; one OS process per node at GOMAXPROCS=%d", workers, window, cmd, nodeProcs),
+			"replicas=0 routes every read to the primary: the single-process baseline",
+			fmt.Sprintf("host has %d core(s); the curve needs >= one core per node (%d for the last row) to show fan-out gain", runtime.NumCPU(), n+1),
+		},
+	}
+	var baseline float64
+	for replicas := 0; replicas <= n; replicas++ {
+		res, err := curveRow(replicas, serverBin, nodeProcs, session, cmd, seed, workers, window)
+		if err != nil {
+			return core.Report{}, fmt.Errorf("replicas=%d: %w", replicas, err)
+		}
+		if replicas == 0 {
+			baseline = res.reqPerS
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", replicas),
+			fmt.Sprintf("%d", res.requests),
+			fmt.Sprintf("%.0f", res.reqPerS),
+			res.hist.Quantile(0.50).Round(time.Microsecond).String(),
+			res.hist.Quantile(0.99).Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", res.errors),
+			fmt.Sprintf("%.2fx", res.reqPerS/baseline),
+		})
+	}
+	return rep, nil
+}
+
+func curveRow(replicas int, serverBin string, nodeProcs int, session, cmd, seed string, workers int, window time.Duration) (result, error) {
+	shipDir, err := os.MkdirTemp("", "ringo-loadtest")
+	if err != nil {
+		return result{}, err
+	}
+	defer os.RemoveAll(shipDir)
+
+	primaryURL, stopPrimary, err := spawnNode(serverBin, nodeProcs)
+	if err != nil {
+		return result{}, err
+	}
+	defer stopPrimary()
+	var replicaURLs []string
+	for i := 0; i < replicas; i++ {
+		u, stop, err := spawnNode(serverBin, nodeProcs)
+		if err != nil {
+			return result{}, err
+		}
+		defer stop()
+		replicaURLs = append(replicaURLs, u)
+	}
+
+	if err := seedPrimary(primaryURL, session, seed); err != nil {
+		return result{}, err
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Primary:  primaryURL,
+		Replicas: replicaURLs,
+		Session:  session,
+		ShipPath: filepath.Join(shipDir, "ship.rngs"),
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer coord.Close()
+	if err := coord.Ship(); err != nil {
+		return result{}, err
+	}
+	coord.Start()
+	cts := httptest.NewServer(coord)
+	defer cts.Close()
+
+	return drive(cts.URL, session, cmd, workers, window)
+}
+
+// spawnNode starts one ringo-server process on a fresh localhost port with
+// its own GOMAXPROCS budget and waits until it answers.
+func spawnNode(serverBin string, nodeProcs int) (string, func(), error) {
+	port, err := freePort()
+	if err != nil {
+		return "", nil, err
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	proc := exec.Command(serverBin, "-addr", addr, "-allow-file-io")
+	proc.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", nodeProcs))
+	proc.Stderr = io.Discard
+	if err := proc.Start(); err != nil {
+		return "", nil, fmt.Errorf("spawn %s: %w", serverBin, err)
+	}
+	stop := func() {
+		_ = proc.Process.Kill()
+		_, _ = proc.Process.Wait()
+	}
+	url := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/sessions")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return url, stop, nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stop()
+	return "", nil, fmt.Errorf("node on %s never became ready", addr)
+}
+
+// freePort asks the kernel for an unused localhost port.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// seedPrimary creates the serving session and runs the seed commands.
+func seedPrimary(baseURL, session, seed string) error {
+	post := func(path string, body map[string]string) error {
+		payload, _ := json.Marshal(body)
+		resp, err := http.Post(baseURL+path, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+		return nil
+	}
+	if err := post("/sessions", map[string]string{"id": session}); err != nil {
+		return err
+	}
+	for _, c := range strings.Split(seed, ";") {
+		if c = strings.TrimSpace(c); c == "" {
+			continue
+		}
+		if err := post("/sessions/"+session+"/query", map[string]string{"cmd": c}); err != nil {
+			return fmt.Errorf("seed %q: %w", c, err)
+		}
+	}
+	return nil
+}

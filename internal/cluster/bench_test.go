@@ -1,0 +1,45 @@
+package cluster
+
+// BenchmarkClusterReadFanout measures read-only throughput through the
+// coordinator as the replica count grows — the in-process miniature of the
+// curve cmd/ringo-loadtest publishes against real server processes. CI
+// runs it with -benchtime 1x as a smoke test (the full pipeline: ship,
+// verify, classify, fan out); locally, -benchtime and -cpu give the real
+// shape. replicas=0 is the baseline: every read falls through to the
+// primary, so the relative numbers read directly as fan-out gain.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func BenchmarkClusterReadFanout(b *testing.B) {
+	for _, n := range []int{0, 1, 2, 3} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			coord, cts := newCluster(b, n, nil)
+			if err := coord.Ship(); err != nil {
+				b.Fatal(err)
+			}
+			body, _ := json.Marshal(map[string]string{"cmd": "top PR 5"})
+			url := cts.URL + "/sessions/main/query"
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+					if err != nil {
+						b.Fatal(err)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Fatalf("status %d", resp.StatusCode)
+					}
+				}
+			})
+		})
+	}
+}

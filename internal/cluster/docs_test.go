@@ -1,0 +1,71 @@
+package cluster
+
+// Drift gates for docs/CLUSTER.md: the coordinator's route table and
+// metric family list are the single sources of truth, and the operator
+// page must track both exactly — a route or family added without
+// documentation, or documented after removal, fails the build here.
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var docRouteHeading = regexp.MustCompile(`^### (GET|POST|PUT|DELETE|PATCH) (/\S*)$`)
+
+func clusterDoc(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("../../docs/CLUSTER.md")
+	if err != nil {
+		t.Fatalf("docs/CLUSTER.md missing: %v", err)
+	}
+	return string(data)
+}
+
+func TestClusterDocCoversEveryRoute(t *testing.T) {
+	doc := clusterDoc(t)
+	documented := map[string]bool{}
+	for _, line := range strings.Split(doc, "\n") {
+		if m := docRouteHeading.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			documented[m[1]+" "+m[2]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/CLUSTER.md documents no endpoints (want '### METHOD /path' headings)")
+	}
+
+	coord, err := New(Config{Primary: "http://localhost:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	registered := map[string]bool{}
+	for pattern := range coord.routeTable() {
+		if pattern == "/" {
+			continue // the passthrough catch-all is prose, not an endpoint
+		}
+		registered[pattern] = true
+	}
+
+	for pattern := range registered {
+		if !documented[pattern] {
+			t.Errorf("route %q is not documented in docs/CLUSTER.md (add a %q heading)", pattern, "### "+pattern)
+		}
+	}
+	for pattern := range documented {
+		if !registered[pattern] {
+			t.Errorf("docs/CLUSTER.md documents %q, which is not a registered coordinator route", pattern)
+		}
+	}
+}
+
+func TestClusterDocNamesEveryMetric(t *testing.T) {
+	doc := clusterDoc(t)
+	for _, name := range metricNames() {
+		if !strings.Contains(doc, "`"+name+"`") && !strings.Contains(doc, "`"+name+" ") &&
+			!strings.Contains(doc, name) {
+			t.Errorf("docs/CLUSTER.md does not mention metric family %s", name)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+// Health checking and failover: the loop that decides who is in the
+// rotation. Every HealthInterval each target is probed with a cheap
+// GET /sessions under HealthTimeout. FailThreshold consecutive failures
+// mark a target down; while down, probes back off exponentially (interval,
+// 2x, 4x, ... capped at MaxBackoff) so a dead node costs a bounded trickle
+// of connection attempts rather than a full-rate hammer. Live requests
+// short-circuit this: a transport error on a proxied read marks the target
+// down immediately (see markDown), the probe loop only has to notice
+// recovery.
+//
+// Recovery is deliberately pessimistic. A replica that answers probes
+// again has an unknown workspace — the common case is a restarted, empty
+// process — so it re-enters rotation only through a fresh
+// fingerprint-verified ship, never on the probe alone. Rejected replicas
+// (fingerprint mismatch) are probed like everyone else but stay out of
+// rotation no matter how healthy they look: only a later ship that
+// verifies clean clears the rejection.
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func (c *Coordinator) healthLoop() {
+	defer c.healthWG.Done()
+	ticker := time.NewTicker(c.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.checkAll()
+		}
+	}
+}
+
+// checkAll probes every target once (concurrently — a hung target must
+// not delay the others' probes) and re-ships any replica that recovered
+// since the last pass.
+func (c *Coordinator) checkAll() {
+	done := make(chan struct{}, len(c.targets))
+	for _, t := range c.targets {
+		go func(t *target) {
+			c.probe(t)
+			done <- struct{}{}
+		}(t)
+	}
+	for range c.targets {
+		<-done
+	}
+	// A recovered replica is healthy but unverified (gen 0): ship once for
+	// all of them. Rejected replicas are retried here too — the operator
+	// may have replaced the bad node — and re-reject harmlessly if not.
+	for _, t := range c.replicas {
+		if st := targetState(t.state.Load()); (st == stateHealthy && t.gen.Load() == 0) || st == stateRejected {
+			if err := c.Ship(); err != nil && c.logger != nil {
+				c.logger.Error("recovery ship failed", "err", err)
+			}
+			break
+		}
+	}
+}
+
+// probe runs one health check against one target, honoring its backoff
+// window, and applies the consecutive-failure threshold and recovery
+// transition. Only this goroutine's loop writes the probe bookkeeping
+// (fails/backoff), guarded by t.mu against /cluster topology reads.
+func (c *Coordinator) probe(t *target) {
+	t.mu.Lock()
+	if time.Now().Before(t.backoffUntil) {
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+
+	err := c.ping(t)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		t.fails++
+		t.lastErr = err.Error()
+		if t.fails >= c.cfg.FailThreshold && targetState(t.state.Load()) == stateHealthy {
+			t.state.Store(int32(stateDown))
+			t.gen.Store(0)
+			if c.logger != nil {
+				c.logger.Warn("cluster target down (health)", "target", t.name, "url", t.url, "err", err)
+			}
+		}
+		if targetState(t.state.Load()) == stateDown {
+			if t.backoff < c.cfg.HealthInterval {
+				t.backoff = c.cfg.HealthInterval
+			} else if t.backoff *= 2; t.backoff > c.cfg.MaxBackoff {
+				t.backoff = c.cfg.MaxBackoff
+			}
+			t.backoffUntil = time.Now().Add(t.backoff)
+		}
+		return
+	}
+	t.fails = 0
+	t.backoff = 0
+	t.backoffUntil = time.Time{}
+	if targetState(t.state.Load()) == stateDown {
+		// Back from the dead: serve again (primary) or wait for the
+		// verify-ship checkAll runs next (replicas, gen stays 0).
+		t.state.Store(int32(stateHealthy))
+		t.lastErr = ""
+		if c.logger != nil {
+			c.logger.Info("cluster target recovered", "target", t.name, "url", t.url)
+		}
+	}
+}
+
+// ping is one health probe: GET /sessions, the cheapest endpoint every
+// ringo-server serves, under the configured timeout.
+func (c *Coordinator) ping(t *target) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url+"/sessions", nil)
+	if err != nil {
+		return err
+	}
+	if c.cfg.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.cfg.AuthToken)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return errStatus(resp.StatusCode)
+	}
+	return nil
+}
+
+type errStatus int
+
+func (e errStatus) Error() string { return http.StatusText(int(e)) }

@@ -1,0 +1,181 @@
+package cluster
+
+// Snapshot shipping: how a replica comes to serve the primary's workspace,
+// and how the coordinator proves it actually does.
+//
+// One ship is: snapshot the primary's serving session to the ship path
+// (atomic temp-file + rename, so replicas never see a torn file), read the
+// primary's per-object fingerprints and workspace content digest, then for
+// each replica drop and recreate the serving session — a fresh workspace
+// restarts its version clock, which is what makes the restored versions
+// reproduce the primary's byte for byte — restore the shipped file into
+// it, and read the replica's fingerprints back. The replica joins the read
+// rotation only if its digest and every name#version fingerprint equal the
+// primary's; anything else marks it rejected with an error naming the
+// first divergence. The name#version comparison tells which object
+// diverged; the content digest catches divergence that version numbers
+// cannot see at all (same names, same versions, different bytes).
+//
+// Ships serialize on shipMu and run in mutation order: each ship verifies
+// replicas against the version captured when it started, so a mutation
+// arriving mid-ship leaves the replicas one generation behind — strictly
+// ineligible — until its own ship completes.
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// fingerprintReport mirrors the server's GET /sessions/{id}/fingerprints
+// response. Declared locally so the data plane (this package) depends only
+// on the wire format, not on internal/server.
+type fingerprintReport struct {
+	Session string `json:"session"`
+	Digest  string `json:"digest"`
+	Objects []struct {
+		Name        string `json:"name"`
+		Fingerprint string `json:"fingerprint"`
+	} `json:"objects"`
+}
+
+// Ship distributes the primary's current serving-session snapshot to every
+// replica that answers, verifying fingerprints before any of them may
+// serve. It returns the first replica error (shipping continues past
+// individual failures — one bad replica must not strand the others stale);
+// a primary-side failure aborts, since there is nothing to ship.
+func (c *Coordinator) Ship() error {
+	c.shipMu.Lock()
+	defer c.shipMu.Unlock()
+	v := c.version.Load()
+	if v == 0 {
+		// Bootstrap: the first ship is generation 1, so "gen 0" can keep
+		// meaning "never verified" everywhere.
+		c.version.CompareAndSwap(0, 1)
+		v = c.version.Load()
+	}
+	start := time.Now()
+
+	// 1. Snapshot the primary's serving session to the shared ship path.
+	if err := c.doJSON(c.primary, "POST", "/sessions/"+c.session+"/snapshot",
+		map[string]string{"path": c.shipPath}, nil); err != nil {
+		c.mShipFailures.Inc()
+		return fmt.Errorf("ship: snapshot on primary: %w", err)
+	}
+	var shipBytes int64
+	if fi, err := os.Stat(c.shipPath); err == nil {
+		// Best effort: the coordinator usually shares the filesystem the
+		// ship path lives on; when it does not, the byte metrics stay 0.
+		shipBytes = fi.Size()
+	}
+
+	// 2. The primary's identity: what every replica must reproduce.
+	var want fingerprintReport
+	if err := c.doJSON(c.primary, "GET", "/sessions/"+c.session+"/fingerprints", nil, &want); err != nil {
+		c.mShipFailures.Inc()
+		return fmt.Errorf("ship: primary fingerprints: %w", err)
+	}
+
+	// 3. Restore and verify, replica by replica.
+	var firstErr error
+	shipped := 0
+	for _, t := range c.replicas {
+		if targetState(t.state.Load()) == stateDown {
+			// Down replicas are unreachable by definition; the health loop
+			// re-ships them the moment they answer a probe again.
+			continue
+		}
+		if err := c.shipReplica(t, &want); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			if c.logger != nil {
+				c.logger.Error("ship failed", "target", t.name, "url", t.url, "err", err)
+			}
+			continue
+		}
+		t.gen.Store(v)
+		t.state.Store(int32(stateHealthy))
+		t.setErr(nil)
+		shipped++
+	}
+
+	elapsed := time.Since(start)
+	c.mShips.Inc()
+	c.mShipBytes.Add(uint64(shipBytes) * uint64(shipped))
+	c.mShipDur.Observe(elapsed)
+	if firstErr != nil {
+		c.mShipFailures.Inc()
+	}
+	c.lastShip.Store(time.Now().UnixNano())
+	c.lastShipBytes.Store(shipBytes)
+	if c.logger != nil {
+		c.logger.Info("ship complete",
+			"version", v, "replicas", shipped, "of", len(c.replicas),
+			"bytes", shipBytes, "digest", want.Digest, "elapsed", elapsed)
+	}
+	return firstErr
+}
+
+// shipReplica restores the shipped snapshot into a fresh serving session
+// on one replica and verifies the restored workspace's fingerprints
+// against the primary's. Transport and HTTP failures mark the replica
+// down; a fingerprint mismatch marks it rejected — a state only a later
+// clean ship can clear, because the replica is reachable and healthy yet
+// provably serving the wrong bytes.
+func (c *Coordinator) shipReplica(t *target, want *fingerprintReport) error {
+	// Drop-and-recreate gives the restore a zero version clock (exact
+	// fingerprint reproduction) and purges every cache keyed to the old
+	// session instance on the replica.
+	if err := c.doJSON(t, "DELETE", "/sessions/"+c.session, nil, nil); err != nil {
+		// A missing session is the normal first-ship case; anything else
+		// (unreachable, auth) will re-fail on the create below and be
+		// reported there.
+		_ = err
+	}
+	if err := c.doJSON(t, "POST", "/sessions", map[string]string{"id": c.session}, nil); err != nil {
+		c.markDown(t, err)
+		return fmt.Errorf("replica %s: create session: %w", t.name, err)
+	}
+	if err := c.doJSON(t, "POST", "/sessions/"+c.session+"/restore",
+		map[string]string{"path": c.shipPath}, nil); err != nil {
+		c.markDown(t, err)
+		return fmt.Errorf("replica %s: restore %s: %w", t.name, c.shipPath, err)
+	}
+	var got fingerprintReport
+	if err := c.doJSON(t, "GET", "/sessions/"+c.session+"/fingerprints", nil, &got); err != nil {
+		c.markDown(t, err)
+		return fmt.Errorf("replica %s: fingerprints: %w", t.name, err)
+	}
+	if err := compareFingerprints(want, &got); err != nil {
+		t.state.Store(int32(stateRejected))
+		t.gen.Store(0)
+		t.setErr(err)
+		c.mShipRejects.Inc()
+		return fmt.Errorf("replica %s (%s) rejected: %w", t.name, t.url, err)
+	}
+	return nil
+}
+
+// compareFingerprints decides whether a replica's restored workspace is
+// the primary's, and if not, says precisely how it differs: the first
+// divergent object by name#version, a missing or extra binding, or — when
+// every version number agrees — the content digest, which means the bytes
+// themselves diverged (a tampered or corrupted ship).
+func compareFingerprints(want, got *fingerprintReport) error {
+	if len(got.Objects) != len(want.Objects) {
+		return fmt.Errorf("fingerprint mismatch: restored %d objects, primary has %d", len(got.Objects), len(want.Objects))
+	}
+	for i, w := range want.Objects {
+		g := got.Objects[i]
+		if g.Name != w.Name || g.Fingerprint != w.Fingerprint {
+			return fmt.Errorf("fingerprint mismatch on object %d: primary %s (%s), replica %s (%s)",
+				i, w.Name, w.Fingerprint, g.Name, g.Fingerprint)
+		}
+	}
+	if got.Digest != want.Digest {
+		return fmt.Errorf("workspace digest mismatch: primary %s, replica %s — object versions agree but the restored bytes differ (corrupted or tampered ship)",
+			want.Digest, got.Digest)
+	}
+	return nil
+}

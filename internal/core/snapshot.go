@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"ringo/internal/snapshot"
+	"ringo/internal/xhash"
 )
 
 // Snapshot serializes the workspace — every object with its provenance and
@@ -85,6 +86,25 @@ func (w *Workspace) Restore(in io.Reader) error {
 	w.views.PurgeAll()
 	w.indexes.PurgeAll()
 	return nil
+}
+
+// Digest returns a content fingerprint of the entire workspace: the xhash
+// checksum of its canonical snapshot encoding, rendered as 16 hex digits.
+// The encoding is deterministic and restore into a fresh workspace
+// reproduces it byte for byte (TestSnapshotDigestSurvivesRestore), so two
+// workspaces digest equally exactly when they hold the same objects at the
+// same versions with the same provenance — the property the cluster tier's
+// fingerprint-verified snapshot shipping checks after every replica
+// restore. Per-binding name#version fingerprints (Fingerprint) tell cache
+// entries apart cheaply; the digest is the content-level complement that
+// catches a replica whose bytes diverged even though its version numbers
+// agree. Like Snapshot, it refuses workspaces holding mapped bindings.
+func (w *Workspace) Digest() (string, error) {
+	d := xhash.NewDigest()
+	if err := w.Snapshot(d); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", d.Sum64()), nil
 }
 
 // SnapshotFile is Snapshot writing to the named file. The snapshot is

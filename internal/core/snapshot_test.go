@@ -164,6 +164,67 @@ func TestWorkspaceRestoreRejectsCorruptSnapshotUntouched(t *testing.T) {
 	}
 }
 
+// TestSnapshotDigestSurvivesRestore pins the property the cluster tier's
+// fingerprint-verified shipping stands on: restoring a snapshot into a
+// fresh workspace reproduces the content digest exactly, across
+// generations, while any content change — even one that leaves every
+// name#version fingerprint identical — moves it.
+func TestSnapshotDigestSurvivesRestore(t *testing.T) {
+	ws := snapshotWorkspace(t)
+	want, err := ws.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 16 {
+		t.Fatalf("digest %q is not 16 hex digits", want)
+	}
+
+	var buf bytes.Buffer
+	if err := ws.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewWorkspace()
+	if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("digest changed across restore: %s -> %s", want, got)
+	}
+
+	// Second generation: restore the restored workspace's snapshot.
+	var buf2 bytes.Buffer
+	if err := fresh.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	gen2 := NewWorkspace()
+	if err := gen2.Restore(bytes.NewReader(buf2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := gen2.Digest(); d != want {
+		t.Fatalf("digest drifted at generation 2: %s -> %s", want, d)
+	}
+
+	// A content tamper that preserves versions: rebuild the same workspace
+	// with one score nudged. Fingerprints agree, the digest must not.
+	tampered := snapshotWorkspace(t)
+	tampered.mu.Lock()
+	tampered.objs["PR"].Scores[1] = 0.70001
+	tampered.mu.Unlock()
+	for _, name := range ws.Names() {
+		a, _ := ws.Fingerprint(name)
+		b, ok := tampered.Fingerprint(name)
+		if !ok || a != b {
+			t.Fatalf("test setup: fingerprints diverged for %s (%s vs %s)", name, a, b)
+		}
+	}
+	if d, _ := tampered.Digest(); d == want {
+		t.Fatal("digest did not detect a content change invisible to name#version fingerprints")
+	}
+}
 func TestWorkspaceSnapshotFileRoundTrip(t *testing.T) {
 	ws := snapshotWorkspace(t)
 	path := t.TempDir() + "/ws.rsnp"

@@ -23,6 +23,7 @@
 //	POST   /sessions/{id}/jobs      {"cmd": "..."} or {"script": "..."} -> 202 + job id (async)
 //	POST   /sessions/{id}/snapshot  {"path": "..."} write the workspace to a file
 //	POST   /sessions/{id}/restore   {"path": "..."} replace the workspace from a file
+//	GET    /sessions/{id}/fingerprints  per-object fingerprints + workspace content digest
 //	GET    /jobs/{id}               job status and result
 //	GET    /jobs                    list jobs (?session=id filters)
 //	GET    /stats                   sessions, jobs, cache hits/misses
@@ -201,19 +202,20 @@ func New(cfg Config) *Server {
 // patterns.
 func (s *Server) routeTable() map[string]http.HandlerFunc {
 	return map[string]http.HandlerFunc{
-		"POST /sessions":               s.handleCreateSession,
-		"GET /sessions":                s.handleListSessions,
-		"GET /sessions/{id}":           s.handleGetSession,
-		"DELETE /sessions/{id}":        s.handleDeleteSession,
-		"POST /sessions/{id}/query":    s.handleQuery,
-		"POST /sessions/{id}/script":   s.handleScript,
-		"POST /sessions/{id}/jobs":     s.handleSubmitJob,
-		"POST /sessions/{id}/snapshot": s.handleSnapshot,
-		"POST /sessions/{id}/restore":  s.handleRestore,
-		"GET /jobs/{id}":               s.handleGetJob,
-		"GET /jobs":                    s.handleListJobs,
-		"GET /stats":                   s.handleStats,
-		"GET /metrics":                 s.handleMetrics,
+		"POST /sessions":                  s.handleCreateSession,
+		"GET /sessions":                   s.handleListSessions,
+		"GET /sessions/{id}":              s.handleGetSession,
+		"DELETE /sessions/{id}":           s.handleDeleteSession,
+		"POST /sessions/{id}/query":       s.handleQuery,
+		"POST /sessions/{id}/script":      s.handleScript,
+		"POST /sessions/{id}/jobs":        s.handleSubmitJob,
+		"POST /sessions/{id}/snapshot":    s.handleSnapshot,
+		"POST /sessions/{id}/restore":     s.handleRestore,
+		"GET /sessions/{id}/fingerprints": s.handleFingerprints,
+		"GET /jobs/{id}":                  s.handleGetJob,
+		"GET /jobs":                       s.handleListJobs,
+		"GET /stats":                      s.handleStats,
+		"GET /metrics":                    s.handleMetrics,
 	}
 }
 
@@ -479,6 +481,65 @@ func isMappedImage(path string) bool {
 		return false
 	}
 	return string(magic[:]) == "RNGM"
+}
+
+// ObjectFingerprint is one binding's identity in a SessionFingerprints
+// report: the name#version fingerprint cache keys are built from.
+type ObjectFingerprint struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// SessionFingerprints identifies the exact state of a session's workspace:
+// every binding's name#version fingerprint plus the content digest of the
+// canonical snapshot encoding. Two sessions report equal fingerprints and
+// digest exactly when they hold byte-identical workspaces — the check the
+// cluster coordinator runs against every replica after shipping a
+// snapshot, so a replica that restored the wrong bytes can never enter the
+// read rotation.
+type SessionFingerprints struct {
+	Session string              `json:"session"`
+	Digest  string              `json:"digest"`
+	Objects []ObjectFingerprint `json:"objects"`
+}
+
+// Fingerprints reports a session's per-object fingerprints and workspace
+// content digest, under the session's shared lock so the cut is consistent
+// with respect to mutating commands. Sessions holding mapped (RNGM)
+// bindings have no snapshot encoding and therefore no digest; the error
+// says so.
+func (s *Server) Fingerprints(id string) (SessionFingerprints, error) {
+	sess, ok := s.session(id)
+	if !ok {
+		return SessionFingerprints{}, errNoSession(id)
+	}
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	ws := sess.eng.Workspace()
+	digest, err := ws.Digest()
+	if err != nil {
+		return SessionFingerprints{}, err
+	}
+	fp := SessionFingerprints{Session: id, Digest: digest, Objects: []ObjectFingerprint{}}
+	for _, name := range ws.Names() {
+		f, _ := ws.Fingerprint(name)
+		fp.Objects = append(fp.Objects, ObjectFingerprint{Name: name, Fingerprint: f})
+	}
+	return fp, nil
+}
+
+func (s *Server) handleFingerprints(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	fp, err := s.Fingerprints(id)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := err.(errNoSession); ok {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fp)
 }
 
 // SessionIDs lists current session ids, sorted.

@@ -879,3 +879,56 @@ func TestViewCacheStatsOnServer(t *testing.T) {
 		t.Fatalf("disabled view cache still counts: %d hits, %d misses", h, m)
 	}
 }
+
+// TestFingerprintsEndpoint: GET /sessions/{id}/fingerprints must report
+// every binding's name#version fingerprint plus a workspace content digest
+// that is stable while the workspace is unchanged and moves on any
+// mutation — the identity the cluster coordinator compares across primary
+// and replicas after a snapshot ship.
+func TestFingerprintsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	if _, err := srv.CreateSession("fp"); err != nil {
+		t.Fatal(err)
+	}
+	query(t, ts.URL, "fp", "gen rmat E 8 300 7")
+	query(t, ts.URL, "fp", "tograph G E src dst")
+
+	var got SessionFingerprints
+	if code := doJSON(t, "GET", ts.URL+"/sessions/fp/fingerprints", nil, &got); code != http.StatusOK {
+		t.Fatalf("fingerprints: status %d", code)
+	}
+	if got.Session != "fp" || len(got.Digest) != 16 {
+		t.Fatalf("bad report: %+v", got)
+	}
+	if len(got.Objects) != 2 {
+		t.Fatalf("objects = %v, want E and G", got.Objects)
+	}
+	for _, o := range got.Objects {
+		if !strings.Contains(o.Fingerprint, "#") {
+			t.Fatalf("object %q fingerprint %q is not name#version", o.Name, o.Fingerprint)
+		}
+	}
+
+	// Unchanged workspace: identical report.
+	var again SessionFingerprints
+	doJSON(t, "GET", ts.URL+"/sessions/fp/fingerprints", nil, &again)
+	if again.Digest != got.Digest {
+		t.Fatalf("digest unstable on unchanged workspace: %s -> %s", got.Digest, again.Digest)
+	}
+
+	// Any mutation must move the digest.
+	query(t, ts.URL, "fp", "pagerank PR G")
+	var after SessionFingerprints
+	doJSON(t, "GET", ts.URL+"/sessions/fp/fingerprints", nil, &after)
+	if after.Digest == got.Digest {
+		t.Fatal("digest did not change after a mutation")
+	}
+	if len(after.Objects) != 3 {
+		t.Fatalf("objects after pagerank = %d, want 3", len(after.Objects))
+	}
+
+	// Unknown session: 404.
+	if code := doJSON(t, "GET", ts.URL+"/sessions/nope/fingerprints", nil, &struct{}{}); code != http.StatusNotFound {
+		t.Fatalf("missing session: status %d, want 404", code)
+	}
+}

@@ -202,6 +202,13 @@ type target struct {
 	fails        int
 	backoff      time.Duration
 	backoffUntil time.Time
+	// Recovery re-ship backoff for rejected replicas, also under mu. A
+	// replica that keeps restoring the wrong bytes re-rejects on every
+	// attempt; retrying it on each health tick would re-snapshot the
+	// primary every interval forever, so recovery attempts space out
+	// exponentially until a ship verifies clean (see checkAll).
+	shipBackoff      time.Duration
+	shipBackoffUntil time.Time
 }
 
 func (t *target) setErr(err error) {
@@ -218,6 +225,34 @@ func (t *target) errString() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.lastErr
+}
+
+// inShipBackoff reports whether a rejected replica's next recovery
+// re-ship attempt is still deferred.
+func (t *target) inShipBackoff() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Now().Before(t.shipBackoffUntil)
+}
+
+// scheduleShipBackoff defers the next recovery re-ship attempt, doubling
+// the window from min up to max on each consecutive rejection.
+func (t *target) scheduleShipBackoff(min, max time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.shipBackoff < min {
+		t.shipBackoff = min
+	} else if t.shipBackoff *= 2; t.shipBackoff > max {
+		t.shipBackoff = max
+	}
+	t.shipBackoffUntil = time.Now().Add(t.shipBackoff)
+}
+
+func (t *target) clearShipBackoff() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shipBackoff = 0
+	t.shipBackoffUntil = time.Time{}
 }
 
 // Coordinator fronts one primary and N replicas behind the ringo-server
@@ -496,16 +531,22 @@ func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 // handlePassthrough forwards everything the coordinator does not classify
 // (session CRUD, job polling, snapshot/restore) to the primary. A
-// successful non-GET under the serving session's path — a restore, a
-// delete — is treated as a mutation: version bump, re-ship.
+// successful non-GET scoped to the serving session — a restore, a
+// delete — is treated as a mutation: version bump, re-ship. Scoping is by
+// exact path segment, not raw prefix, so a sibling session like "main2"
+// never invalidates "main"; POST /snapshot is exempt because it only
+// writes a host file and leaves the workspace untouched.
 func (c *Coordinator) handlePassthrough(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
 		return
 	}
+	base := "/sessions/" + c.session
+	path := r.URL.Path
+	sessionScoped := path == base || strings.HasPrefix(path, base+"/")
 	invalidates := r.Method != http.MethodGet && r.Method != http.MethodHead &&
-		strings.HasPrefix(r.URL.Path, "/sessions/"+c.session)
+		sessionScoped && path != base+"/snapshot"
 	c.servePrimary(w, r, body, invalidates)
 }
 
@@ -545,7 +586,19 @@ func (c *Coordinator) serveRead(w http.ResponseWriter, r *http.Request, body []b
 			break
 		}
 		tried[t] = true
+		// Claim an in-flight slot, then re-check eligibility: a ship
+		// pulling this replica from rotation either zeroes its generation
+		// before the re-check (the read moves on) or after it (the ship's
+		// drain sees this claim and waits for the response before dropping
+		// the session). Without the claim a read could pass selection,
+		// lose the race, and arrive at a dropped session.
+		t.inflight.Add(1)
+		if !c.eligible(t) {
+			t.inflight.Add(-1)
+			continue
+		}
 		resp, err := c.roundTrip(t, r, body)
+		t.inflight.Add(-1)
 		if err != nil {
 			c.markDown(t, err)
 			c.mRetries.Inc()
@@ -567,7 +620,9 @@ func (c *Coordinator) serveRead(w http.ResponseWriter, r *http.Request, body []b
 
 // eligible reports whether a replica may take reads right now: it must be
 // healthy and hold a fingerprint-verified ship — the current version under
-// strict consistency, any verified version under eventual.
+// strict consistency, any verified version under eventual. Both modes
+// require gen > 0: before the first ship version is 0 too, and "0 == 0"
+// must not admit a replica that never restored anything.
 func (c *Coordinator) eligible(t *target) bool {
 	if targetState(t.state.Load()) != stateHealthy {
 		return false
@@ -576,7 +631,7 @@ func (c *Coordinator) eligible(t *target) bool {
 	if c.eventual {
 		return g > 0
 	}
-	return g == c.version.Load()
+	return g > 0 && g == c.version.Load()
 }
 
 // pickReplica selects the next replica to try: the least-loaded eligible

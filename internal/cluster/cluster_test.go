@@ -619,6 +619,243 @@ func TestClusterHealthLoop(t *testing.T) {
 	}
 }
 
+// TestClusterStrictRequiresVerifiedShip pins the bootstrap edge of strict
+// eligibility: before the first ship the cluster version and every replica
+// generation are all 0, and "0 == 0" must not admit replicas that never
+// restored anything. Reads route to the primary until a verified ship
+// lands. Weakening eligible to plain gen == version fails here.
+func TestClusterStrictRequiresVerifiedShip(t *testing.T) {
+	coord, cts := newCluster(t, 2, nil)
+	targets := targetsByName(t, clusterView(t, cts.URL))
+	for _, name := range []string{"r1", "r2"} {
+		if targets[name]["eligible"] != false {
+			t.Fatalf("%s eligible before any ship: %+v", name, targets[name])
+		}
+	}
+	for i := 0; i < 5; i++ {
+		code, target, body := cquery(t, cts.URL, "main", "top PR 5")
+		if code != http.StatusOK || target != "primary" {
+			t.Fatalf("pre-ship read %d: status %d target %q (%s), want 200 primary", i, code, target, body)
+		}
+	}
+	if err := coord.Ship(); err != nil {
+		t.Fatal(err)
+	}
+	if _, target, _ := cquery(t, cts.URL, "main", "top PR 5"); target == "primary" {
+		t.Fatal("read still on primary after verified ship")
+	}
+}
+
+// delayRestore wraps a node so every restore stalls for d before the real
+// handler runs — holding a ship's drop-and-restore window open long enough
+// for concurrent reads to race it deterministically.
+func delayRestore(t *testing.T, inner http.Handler, d time.Duration) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/restore") {
+			time.Sleep(d)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClusterMidShipReadsNeverHitDroppedSession holds a re-ship's restore
+// window open on an eventual-mode replica while reads hammer the
+// coordinator: every read must succeed, meaning it landed on a node
+// actually holding the session. Without shipReplica pulling the replica
+// from rotation first, eventual mode keeps it eligible (gen > 0) while its
+// serving session is dropped and mid-restore, and reads come back 404 —
+// an HTTP status is a response, not a retried transport failure.
+func TestClusterMidShipReadsNeverHitDroppedSession(t *testing.T) {
+	_, pts := newNode(t)
+	seedMain(t, pts.URL, seedCmds...)
+	rSrv, _ := newNode(t)
+	rts := delayRestore(t, rSrv, 150*time.Millisecond)
+	coord, err := New(Config{
+		Primary:  pts.URL,
+		Replicas: []string{rts.URL},
+		ShipPath: filepath.Join(t.TempDir(), "ship.rngs"),
+		Eventual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	cts := httptest.NewServer(coord)
+	t.Cleanup(cts.Close)
+	if err := coord.Ship(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body, _ := json.Marshal(map[string]string{"cmd": "top PR 5"})
+				resp, err := http.Post(cts.URL+"/sessions/main/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					bad.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+	// The mutation triggers a re-ship whose restore stalls 150ms on the
+	// replica; the read burst keeps flowing the whole time.
+	code, target, body := cquery(t, cts.URL, "main", "gen rmat E2 5 32 1")
+	if code != http.StatusOK || target != "primary" {
+		t.Fatalf("mutation: status %d target %q: %s", code, target, body)
+	}
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d reads failed during the re-ship window, want 0", n)
+	}
+	if !coord.eligible(coord.replicas[0]) {
+		t.Fatal("replica not back in rotation after the re-ship")
+	}
+}
+
+// TestClusterRejectedRecoveryBackoff: a replica that keeps restoring the
+// wrong bytes re-rejects on every recovery attempt. The health loop must
+// retry it on an exponential schedule (not every tick) and must not drop
+// and re-restore the healthy, already-verified replica along the way.
+// Removing either the backoff or the already-verified skip fails here.
+func TestClusterRejectedRecoveryBackoff(t *testing.T) {
+	_, pts := newNode(t)
+	seedMain(t, pts.URL, seedCmds...)
+
+	var honestRestores atomic.Int64
+	honestSrv, _ := newNode(t)
+	honest := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/restore") {
+			honestRestores.Add(1)
+		}
+		honestSrv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(honest.Close)
+
+	// The decoy the tampered replica restores instead of the real ship.
+	_, decoy := newNode(t)
+	seedMain(t, decoy.URL, "gen rmat X 5 32 1")
+	decoyPath := filepath.Join(t.TempDir(), "decoy.rngs")
+	if code := doJSON(t, "POST", decoy.URL+"/sessions/main/snapshot", map[string]string{"path": decoyPath}, nil); code != http.StatusOK {
+		t.Fatalf("decoy snapshot: status %d", code)
+	}
+	var tamperedRestores atomic.Int64
+	tamperedSrv, _ := newNode(t)
+	tampered := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/restore") {
+			tamperedRestores.Add(1)
+			body, _ := json.Marshal(map[string]string{"path": decoyPath})
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		tamperedSrv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(tampered.Close)
+
+	coord, err := New(Config{
+		Primary:        pts.URL,
+		Replicas:       []string{honest.URL, tampered.URL},
+		ShipPath:       filepath.Join(t.TempDir(), "ship.rngs"),
+		HealthInterval: 10 * time.Millisecond,
+		HealthTimeout:  500 * time.Millisecond,
+		MaxBackoff:     100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	if err := coord.Ship(); err == nil {
+		t.Fatal("ship to tampered replica reported success")
+	}
+	coord.Start()
+
+	// Let recovery retry the rejected replica a few times, then let
+	// several more backoff windows pass.
+	waitFor(t, 5*time.Second, func() bool {
+		return tamperedRestores.Load() >= 3
+	}, "health loop never retried the rejected replica")
+	time.Sleep(300 * time.Millisecond)
+
+	if got := honestRestores.Load(); got != 1 {
+		t.Fatalf("healthy verified replica restored %d times, want exactly 1: recovery ships must not drop it from rotation", got)
+	}
+	// Retries at 10, 20, 40, 80, then 100ms intervals stay in single
+	// digits over this window; one per 10ms health tick would be dozens.
+	if got := tamperedRestores.Load(); got > 12 {
+		t.Fatalf("rejected replica restored %d times; recovery retries are not backing off", got)
+	}
+	if coord.eligible(coord.replicas[1]) {
+		t.Fatal("tampered replica entered rotation")
+	}
+	if !coord.eligible(coord.replicas[0]) {
+		t.Fatal("honest replica left rotation during recovery retries")
+	}
+}
+
+// TestClusterPassthroughInvalidation pins exactly which passthrough
+// requests count as mutations of the serving session. Each false positive
+// costs a synchronous full re-ship, so a sibling session sharing the name
+// prefix ("main2" beside "main") and the non-mutating POST /snapshot
+// (writes a host file, leaves the workspace untouched) must not bump the
+// version — while a genuine session-scoped mutation like POST /restore
+// still must.
+func TestClusterPassthroughInvalidation(t *testing.T) {
+	coord, cts := newCluster(t, 1, nil)
+	if err := coord.Ship(); err != nil {
+		t.Fatal(err)
+	}
+
+	snapPath := filepath.Join(t.TempDir(), "snap.rngs")
+	if code := doJSON(t, "POST", cts.URL+"/sessions/main/snapshot", map[string]string{"path": snapPath}, nil); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	if got := coord.Version(); got != 1 {
+		t.Fatalf("version after POST /snapshot = %d, want 1", got)
+	}
+
+	if code := doJSON(t, "POST", cts.URL+"/sessions", map[string]string{"id": "main2"}, nil); code != http.StatusCreated {
+		t.Fatalf("create main2: status %d", code)
+	}
+	if code := doJSON(t, "POST", cts.URL+"/sessions/main2/restore", map[string]string{"path": snapPath}, nil); code/100 != 2 {
+		t.Fatalf("restore into main2: status %d", code)
+	}
+	if code := doJSON(t, "DELETE", cts.URL+"/sessions/main2", nil, nil); code/100 != 2 {
+		t.Fatalf("delete main2: status %d", code)
+	}
+	if got := coord.Version(); got != 1 {
+		t.Fatalf("version after sibling-session traffic = %d, want 1: %q must not invalidate %q", got, "main2", "main")
+	}
+	if !coord.eligible(coord.replicas[0]) {
+		t.Fatal("replica left rotation on non-invalidating passthrough traffic")
+	}
+
+	if code := doJSON(t, "POST", cts.URL+"/sessions/main/restore", map[string]string{"path": snapPath}, nil); code/100 != 2 {
+		t.Fatalf("restore into main: status %d", code)
+	}
+	if got := coord.Version(); got != 2 {
+		t.Fatalf("version after POST /restore on the serving session = %d, want 2", got)
+	}
+}
+
 func waitFor(t testing.TB, timeout time.Duration, cond func() bool, msg string) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)

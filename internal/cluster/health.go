@@ -16,7 +16,9 @@ package cluster
 // fingerprint-verified ship, never on the probe alone. Rejected replicas
 // (fingerprint mismatch) are probed like everyone else but stay out of
 // rotation no matter how healthy they look: only a later ship that
-// verifies clean clears the rejection.
+// verifies clean clears the rejection, and recovery retries of a
+// still-rejected replica back off exponentially so a permanently bad node
+// costs a bounded trickle of re-ships, not one per tick.
 
 import (
 	"context"
@@ -53,11 +55,17 @@ func (c *Coordinator) checkAll() {
 		<-done
 	}
 	// A recovered replica is healthy but unverified (gen 0): ship once for
-	// all of them. Rejected replicas are retried here too — the operator
-	// may have replaced the bad node — and re-reject harmlessly if not.
+	// all of them. Rejected replicas are retried too — the operator may
+	// have replaced the bad node — but on an exponential backoff schedule
+	// (HealthInterval doubling up to MaxBackoff, reset by a clean ship),
+	// because a permanently bad node re-rejects every attempt and retrying
+	// it each tick would re-snapshot the primary forever. The recovery
+	// ship itself (ship(false)) touches only the replicas that need it;
+	// replicas already verified at the current version stay in rotation.
 	for _, t := range c.replicas {
-		if st := targetState(t.state.Load()); (st == stateHealthy && t.gen.Load() == 0) || st == stateRejected {
-			if err := c.Ship(); err != nil && c.logger != nil {
+		st := targetState(t.state.Load())
+		if (st == stateHealthy && t.gen.Load() == 0) || (st == stateRejected && !t.inShipBackoff()) {
+			if err := c.ship(false); err != nil && c.logger != nil {
 				c.logger.Error("recovery ship failed", "err", err)
 			}
 			break

@@ -6,10 +6,12 @@ package cluster
 // One ship is: snapshot the primary's serving session to the ship path
 // (atomic temp-file + rename, so replicas never see a torn file), read the
 // primary's per-object fingerprints and workspace content digest, then for
-// each replica drop and recreate the serving session — a fresh workspace
-// restarts its version clock, which is what makes the restored versions
-// reproduce the primary's byte for byte — restore the shipped file into
-// it, and read the replica's fingerprints back. The replica joins the read
+// each replica: pull it from the read rotation (zero its generation, so no
+// new read routes to it mid-restore) and drain in-flight reads, drop and
+// recreate the serving session — a fresh workspace restarts its version
+// clock, which is what makes the restored versions reproduce the primary's
+// byte for byte — restore the shipped file into it, and read the replica's
+// fingerprints back. The replica joins the read
 // rotation only if its digest and every name#version fingerprint equal the
 // primary's; anything else marks it rejected with an error naming the
 // first divergence. The name#version comparison tells which object
@@ -39,12 +41,29 @@ type fingerprintReport struct {
 	} `json:"objects"`
 }
 
+// shipDrainTimeout bounds how long a ship waits for reads already
+// dispatched to a replica to finish before its serving session is
+// dropped. Leaving rotation (gen 0) stops new reads instantly; the drain
+// only covers requests in flight at that moment, so the window is small —
+// the bound keeps a stuck read from stalling mutation acknowledgement.
+const shipDrainTimeout = 2 * time.Second
+
 // Ship distributes the primary's current serving-session snapshot to every
 // replica that answers, verifying fingerprints before any of them may
 // serve. It returns the first replica error (shipping continues past
 // individual failures — one bad replica must not strand the others stale);
 // a primary-side failure aborts, since there is nothing to ship.
-func (c *Coordinator) Ship() error {
+func (c *Coordinator) Ship() error { return c.ship(true) }
+
+// ship is Ship's engine. full ships every reachable replica — mutation
+// re-ships (the version just changed, everyone is stale), bootstrap, and
+// the operator's POST /cluster/ship (which must re-verify even replicas
+// whose generation looks current, to catch out-of-band primary changes).
+// Recovery ships from the health loop pass full=false and touch only the
+// replicas that need it: a replica already verified at the target version
+// stays in rotation untouched, and a rejected replica is retried only
+// once its exponential backoff window has passed.
+func (c *Coordinator) ship(full bool) error {
 	c.shipMu.Lock()
 	defer c.shipMu.Unlock()
 	v := c.version.Load()
@@ -80,10 +99,23 @@ func (c *Coordinator) Ship() error {
 	var firstErr error
 	shipped := 0
 	for _, t := range c.replicas {
-		if targetState(t.state.Load()) == stateDown {
+		st := targetState(t.state.Load())
+		if st == stateDown {
 			// Down replicas are unreachable by definition; the health loop
 			// re-ships them the moment they answer a probe again.
 			continue
+		}
+		if !full {
+			if st == stateHealthy && t.gen.Load() == v {
+				// Already verified at exactly this version: re-shipping
+				// would drop its serving session mid-rotation for nothing.
+				continue
+			}
+			if st == stateRejected && t.inShipBackoff() {
+				// A permanently bad replica re-rejects every attempt;
+				// retry on the exponential schedule, not every tick.
+				continue
+			}
 		}
 		if err := c.shipReplica(t, &want); err != nil {
 			if firstErr == nil {
@@ -97,6 +129,7 @@ func (c *Coordinator) Ship() error {
 		t.gen.Store(v)
 		t.state.Store(int32(stateHealthy))
 		t.setErr(nil)
+		t.clearShipBackoff()
 		shipped++
 	}
 
@@ -124,6 +157,17 @@ func (c *Coordinator) Ship() error {
 // clean ship can clear, because the replica is reachable and healthy yet
 // provably serving the wrong bytes.
 func (c *Coordinator) shipReplica(t *target, want *fingerprintReport) error {
+	// Leave the read rotation before touching the serving session: gen 0
+	// is ineligible under both consistency modes, so no new read routes
+	// here while the session is dropped and restored — a read landing in
+	// that window would see a missing or half-restored session and return
+	// that to the client (an HTTP status is a response, not a retried
+	// transport failure). Then let reads already dispatched finish against
+	// the old session, bounded by shipDrainTimeout.
+	t.gen.Store(0)
+	for deadline := time.Now().Add(shipDrainTimeout); t.inflight.Load() > 0 && time.Now().Before(deadline); {
+		time.Sleep(2 * time.Millisecond)
+	}
 	// Drop-and-recreate gives the restore a zero version clock (exact
 	// fingerprint reproduction) and purges every cache keyed to the old
 	// session instance on the replica.
@@ -151,6 +195,7 @@ func (c *Coordinator) shipReplica(t *target, want *fingerprintReport) error {
 		t.state.Store(int32(stateRejected))
 		t.gen.Store(0)
 		t.setErr(err)
+		t.scheduleShipBackoff(c.cfg.HealthInterval, c.cfg.MaxBackoff)
 		c.mShipRejects.Inc()
 		return fmt.Errorf("replica %s (%s) rejected: %w", t.name, t.url, err)
 	}

@@ -1,6 +1,8 @@
 package ringo_test
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
 	"ringo"
@@ -240,5 +242,109 @@ func TestFacadeParallelBFS(t *testing.T) {
 		if parl[id] != d {
 			t.Fatalf("node %d: %d vs %d", id, d, parl[id])
 		}
+	}
+}
+
+// TestFacadeIncremental drives the incremental tier through the façade:
+// in-place workspace mutations append deltas and patch cached views
+// instead of rebuilding, the free PatchView function reproduces the
+// workspace's patched view, and the dynamic algorithm variants agree
+// with their cold oracles.
+func TestFacadeIncremental(t *testing.T) {
+	g := ringo.NewGraph()
+	for i := int64(0); i < 30; i++ {
+		g.AddEdge(i, (i+1)%30)
+	}
+	ws := ringo.NewWorkspace()
+	ws.Set("G", ringo.Object{Graph: g})
+	v0, err := ws.DirectedView("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := ringo.PageRankViewTol(v0, 0.85, 1e-9)
+
+	// Round 1: mixed mutations, captured as a delta batch.
+	for _, m := range []func() (bool, error){
+		func() (bool, error) { return ws.AddGraphEdge("G", 3, 17) },
+		func() (bool, error) { return ws.DelGraphEdge("G", 5, 6) },
+		func() (bool, error) { return ws.AddGraphNode("G", 99) },
+	} {
+		if ok, err := m(); err != nil || !ok {
+			t.Fatalf("mutation failed: ok=%v err=%v", ok, err)
+		}
+	}
+	if n := ws.DeltaEdges(); n != 3 {
+		t.Fatalf("DeltaEdges = %d, want 3", n)
+	}
+	deltas := append([]ringo.Delta(nil), ws.PendingDeltas("G")...)
+
+	v1, err := ws.DirectedView("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := ws.PatchStats(); p == 0 {
+		t.Fatal("small batch over a warm view should patch, not rebuild")
+	}
+
+	// The free function over the stale view must land on the same CSR.
+	patched := ringo.PatchView(v0, g.HasNode, g.HasEdge, deltas)
+	if patched.NumNodes() != v1.NumNodes() || patched.NumEdges() != v1.NumEdges() {
+		t.Fatalf("PatchView shape (%d,%d) != workspace view (%d,%d)",
+			patched.NumNodes(), patched.NumEdges(), v1.NumNodes(), v1.NumEdges())
+	}
+	for i := int32(0); i < int32(patched.NumNodes()); i++ {
+		if patched.ID(i) != v1.ID(i) || !reflect.DeepEqual(patched.Out(i), v1.Out(i)) {
+			t.Fatalf("PatchView adjacency differs at row %d", i)
+		}
+	}
+
+	// Dynamic PageRank vs the cold oracle on the new view.
+	incr := ringo.PageRankIncr(v1, prev, 0.85, 1e-9)
+	cold := ringo.PageRankViewTol(v1, 0.85, 1e-9)
+	for id, want := range cold {
+		if d := math.Abs(incr[id] - want); d > 1e-6 {
+			t.Fatalf("PageRankIncr[%d] off by %g", id, d)
+		}
+	}
+	// The round-1 batch contains a deletion: incremental WCC must refuse.
+	if _, ok := ringo.GetWCCIncr(v1, ringo.GetWCCView(v0), deltas); ok {
+		t.Fatal("GetWCCIncr accepted a batch with a deletion")
+	}
+
+	// Round 2: additions only — WCC and triangles update incrementally.
+	u1, err := ws.UndirectedView("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri1 := ringo.CountTrianglesView(u1)
+	comp1 := ringo.GetWCCView(v1)
+	for _, e := range [][2]int64{{0, 2}, {99, 3}} {
+		if ok, err := ws.AddGraphEdge("G", e[0], e[1]); err != nil || !ok {
+			t.Fatalf("AddGraphEdge(%v): ok=%v err=%v", e, ok, err)
+		}
+	}
+	// The log keeps the whole history since its base version, so the
+	// batch separating v1 from the current state is the suffix after
+	// round 1's deltas.
+	deltas2 := append([]ringo.Delta(nil), ws.PendingDeltas("G")[len(deltas):]...)
+	v2, err := ws.DirectedView("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := ws.UndirectedView("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcc2, ok := ringo.GetWCCIncr(v2, comp1, deltas2)
+	if !ok {
+		t.Fatal("GetWCCIncr refused an addition-only batch")
+	}
+	if !reflect.DeepEqual(wcc2, ringo.GetWCCView(v2)) {
+		t.Fatal("GetWCCIncr differs from the cold recompute")
+	}
+	// Edge 0-2 closes the undirected triangle 0-1-2.
+	got := ringo.CountTrianglesIncr(u1, u2, tri1, deltas2)
+	if want := ringo.CountTrianglesView(u2); got != want || got != tri1+1 {
+		t.Fatalf("CountTrianglesIncr = %d, want %d (was %d)", got, want, tri1)
 	}
 }

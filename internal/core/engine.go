@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ringo/internal/algo"
 	"ringo/internal/conv"
@@ -182,8 +183,15 @@ func schemaString(t *table.Table) string {
 // serve the flat CSR snapshot algorithms run over from a fingerprint-keyed
 // ViewCache: the first query on a graph pays the O(V+E) conversion, every
 // later query on the unchanged graph goes straight to flat-array compute.
-// Every mutating operation (Set, Delete, Rename, Touch, Restore) purges the
-// affected views.
+// Rebinding operations (Set, Delete, Rename, Touch, Restore) purge the
+// affected views — the new object shares nothing with the cached state.
+//
+// Fine-grained graph mutations (AddGraphEdge, DelGraphEdge, AddGraphNode)
+// are different: they bump the version but keep the binding's cached views
+// resident and append to its delta log, so the next query patches the
+// pending deltas onto a cached base view (graph.PatchView) instead of
+// rebuilding — as long as the batch stays under the ConfigurePatching
+// threshold. See incremental.go for the delta-log machinery.
 //
 // A Workspace is safe for concurrent use by multiple goroutines.
 type Workspace struct {
@@ -195,6 +203,14 @@ type Workspace struct {
 	order   []string
 	views   *ViewCache
 	indexes *IndexCache
+	// deltas holds each graph binding's pending mutation log; patchRatio
+	// is the patch-vs-rebuild threshold; patches/rebuilds count how view
+	// materializations were served (they are touched inside cache build
+	// closures, outside mu — hence atomics).
+	deltas     map[string]*deltaLog
+	patchRatio float64
+	patches    atomic.Uint64
+	rebuilds   atomic.Uint64
 }
 
 // NewWorkspace returns an empty workspace with a view cache of
@@ -203,11 +219,13 @@ type Workspace struct {
 // and ConfigureIndexCache.
 func NewWorkspace() *Workspace {
 	return &Workspace{
-		objs:    make(map[string]Object),
-		prov:    make(map[string]string),
-		ver:     make(map[string]uint64),
-		views:   NewViewCache(DefaultViewCacheEntries),
-		indexes: NewIndexCache(DefaultIndexCacheEntries),
+		objs:       make(map[string]Object),
+		prov:       make(map[string]string),
+		ver:        make(map[string]uint64),
+		views:      NewViewCache(DefaultViewCacheEntries),
+		indexes:    NewIndexCache(DefaultIndexCacheEntries),
+		deltas:     make(map[string]*deltaLog),
+		patchRatio: DefaultPatchRatio,
 	}
 }
 
@@ -298,6 +316,7 @@ func (w *Workspace) DirectedView(name string) (*graph.View, error) {
 	o, ok := w.objs[name]
 	ver := w.ver[name]
 	views := w.views
+	plan := w.patchPlanLocked(name)
 	w.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("no object named %q", name)
@@ -314,7 +333,14 @@ func (w *Workspace) DirectedView(name string) (*graph.View, error) {
 	if o.Graph == nil {
 		return nil, fmt.Errorf("%q is a %s, not a directed graph", name, o.Kind())
 	}
-	v := views.Directed(name, ver, func() *graph.View { return graph.BuildView(o.Graph) })
+	v := views.Directed(name, ver, func() *graph.View {
+		if base, pending := plan.baseDirected(views, name); base != nil {
+			w.patches.Add(1)
+			return graph.PatchView(base, o.Graph.HasNode, o.Graph.HasEdge, pending)
+		}
+		w.rebuilds.Add(1)
+		return graph.BuildView(o.Graph)
+	})
 	w.dropIfStale(views, name, ver)
 	return v, nil
 }
@@ -329,6 +355,7 @@ func (w *Workspace) UndirectedView(name string) (*graph.UView, error) {
 	o, ok := w.objs[name]
 	ver := w.ver[name]
 	views := w.views
+	plan := w.patchPlanLocked(name)
 	w.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("no object named %q", name)
@@ -336,9 +363,27 @@ func (w *Workspace) UndirectedView(name string) (*graph.UView, error) {
 	var v *graph.UView
 	switch {
 	case o.UGraph != nil:
-		v = views.Undirected(name, ver, func() *graph.UView { return graph.BuildUView(o.UGraph) })
+		v = views.Undirected(name, ver, func() *graph.UView {
+			if base, pending := plan.baseUndirected(views, name); base != nil {
+				w.patches.Add(1)
+				return graph.PatchUView(base, o.UGraph.HasNode, o.UGraph.HasEdge, pending)
+			}
+			w.rebuilds.Add(1)
+			return graph.BuildUView(o.UGraph)
+		})
 	case o.Graph != nil:
-		v = views.Undirected(name, ver, func() *graph.UView { return graph.BuildUView(graph.AsUndirected(o.Graph)) })
+		v = views.Undirected(name, ver, func() *graph.UView {
+			if base, pending := plan.baseUndirected(views, name); base != nil {
+				w.patches.Add(1)
+				g := o.Graph
+				// An undirected edge of the projection exists when either
+				// orientation does.
+				sym := func(a, b int64) bool { return g.HasEdge(a, b) || g.HasEdge(b, a) }
+				return graph.PatchUView(base, g.HasNode, sym, pending)
+			}
+			w.rebuilds.Add(1)
+			return graph.BuildUView(graph.AsUndirected(o.Graph))
+		})
 	case o.Mapped != nil && o.Mapped.UView() != nil:
 		// An undirected mapped image is served in place, like DirectedView.
 		return o.Mapped.UView(), nil
@@ -360,8 +405,20 @@ func (w *Workspace) UndirectedView(name string) (*graph.UView, error) {
 // dead view would stay resident until LRU pressure reached it. (If the
 // mutation happens after this check instead, its purge runs after the
 // insertion and removes the entry itself — either order is covered.)
+//
+// Views superseded by *delta-logged* mutations are deliberately kept:
+// they are exactly the base states the next query patches from, so a view
+// is only stale when no live delta log covers its version (the binding
+// was rebound, renamed, touched or deleted).
 func (w *Workspace) dropIfStale(views *ViewCache, name string, ver uint64) {
-	if cur, ok := w.Version(name); !ok || cur != ver {
+	w.mu.RLock()
+	cur, ok := w.ver[name]
+	patchable := false
+	if dl := w.deltas[name]; ok && dl != nil {
+		patchable = ver >= dl.baseVer && ver <= cur
+	}
+	w.mu.RUnlock()
+	if !ok || (cur != ver && !patchable) {
 		views.Drop(name, ver)
 	}
 }
@@ -385,6 +442,7 @@ func (w *Workspace) SetWithProvenance(name string, o Object, prov string) {
 	w.ver[name] = w.clock
 	w.views.Purge(name)
 	w.indexes.Purge(name)
+	delete(w.deltas, name)
 }
 
 // Delete removes a binding, reporting whether it existed.
@@ -405,6 +463,7 @@ func (w *Workspace) Delete(name string) bool {
 	}
 	w.views.Purge(name)
 	w.indexes.Purge(name)
+	delete(w.deltas, name)
 	return true
 }
 
@@ -445,6 +504,8 @@ func (w *Workspace) Rename(oldName, newName string) error {
 	w.views.Purge(newName)
 	w.indexes.Purge(oldName)
 	w.indexes.Purge(newName)
+	delete(w.deltas, oldName)
+	delete(w.deltas, newName)
 	return nil
 }
 
@@ -459,6 +520,7 @@ func (w *Workspace) Touch(name string) {
 		w.ver[name] = w.clock
 		w.views.Purge(name)
 		w.indexes.Purge(name)
+		delete(w.deltas, name)
 	}
 }
 

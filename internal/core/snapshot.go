@@ -82,9 +82,11 @@ func (w *Workspace) Restore(in io.Reader) error {
 	}
 	w.clock = base + maxVer
 	// Every binding was replaced wholesale; no pre-restore view or index can
-	// ever be asked for again, so drop them all.
+	// ever be asked for again, so drop them all — and the pending delta
+	// logs with them, since their base versions point at replaced objects.
 	w.views.PurgeAll()
 	w.indexes.PurgeAll()
+	clear(w.deltas)
 	return nil
 }
 

@@ -27,14 +27,16 @@ type viewKey struct {
 
 // viewEntry is one cache slot. The view itself is built inside once, so
 // concurrent readers asking for the same uncached view block on a single
-// build instead of racing O(V+E) constructions; bytes is recorded under
-// the cache lock after the build completes.
+// build instead of racing O(V+E) constructions; bytes and the ready flag
+// are recorded under the cache lock after the build completes, which is
+// what lets Peek read dir/un without joining the once.
 type viewEntry struct {
 	key   viewKey
 	once  sync.Once
 	dir   *graph.View
 	un    *graph.UView
 	bytes int64
+	ready bool
 }
 
 // ViewCache is the fingerprint-keyed CSR view cache at the heart of
@@ -95,11 +97,52 @@ func (c *ViewCache) record(ent *viewEntry, el *list.Element, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ent.bytes = bytes
+	ent.ready = true
 	if cur, ok := c.items[ent.key]; ok && cur == el {
 		c.bytes += bytes
 	} else {
 		ent.bytes = 0
 	}
+}
+
+// peek returns the finished entry for key without inserting, counting a
+// hit or a miss, or waiting on an in-flight build — the lookup the patch
+// planner uses to find a resident base view. A found entry moves to the
+// LRU front: a view serving as patch base is in active use even though no
+// query hit it directly.
+func (c *ViewCache) peek(key viewKey) *viewEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	ent := el.Value.(*viewEntry)
+	if !ent.ready {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return ent
+}
+
+// PeekDirected returns the resident directed view of the exact binding
+// state (name, ver), or nil — never building, never blocking.
+func (c *ViewCache) PeekDirected(name string, ver uint64) *graph.View {
+	if ent := c.peek(viewKey{name: name, ver: ver}); ent != nil {
+		return ent.dir
+	}
+	return nil
+}
+
+// PeekUndirected is PeekDirected for the undirected orientation.
+func (c *ViewCache) PeekUndirected(name string, ver uint64) *graph.UView {
+	if ent := c.peek(viewKey{name: name, ver: ver, undir: true}); ent != nil {
+		return ent.un
+	}
+	return nil
 }
 
 // Directed returns the cached directed view for the binding state

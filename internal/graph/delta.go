@@ -1,0 +1,307 @@
+package graph
+
+import (
+	"slices"
+
+	"ringo/internal/par"
+)
+
+// ReservedNodeID is the node id reserved for tombstoned slots; AddNode
+// panics on it, and hosts that accept ids from user input (the shell's
+// addnode/addedge verbs) reject it up front.
+const ReservedNodeID = tombstone
+
+// DeltaOp enumerates the mutations a graph delta log records. Node
+// deletion is deliberately absent: the incremental tier only grows or
+// rewires the node set, which keeps every cached view's node universe a
+// subset of the live graph's and makes patching a pure merge.
+type DeltaOp uint8
+
+const (
+	// DeltaAddNode records an isolated-node insertion (Src is the id).
+	DeltaAddNode DeltaOp = iota
+	// DeltaAddEdge records an edge insertion Src->Dst (endpoints created
+	// as needed, exactly like Directed.AddEdge / Undirected.AddEdge).
+	DeltaAddEdge
+	// DeltaDelEdge records an edge deletion Src->Dst.
+	DeltaDelEdge
+)
+
+// Delta is one recorded mutation. For DeltaAddNode only Src is meaningful.
+type Delta struct {
+	Op       DeltaOp
+	Src, Dst int64
+}
+
+// PatchView produces the CSR view of the current graph state by patching a
+// base view with a batch of deltas, instead of rebuilding from scratch: a
+// sorted overlay of net adjacency changes is merged with the base arena in
+// one parallel pass, so the cost is a flat O(V+E) copy plus work
+// proportional to the touched adjacency lists — no hashing, no re-sort.
+//
+// The caller describes the *current* graph through the hasNode/hasEdge
+// callbacks; deltas only tell the patch which pairs to re-examine, so the
+// batch may contain duplicates, cancelling add/delete pairs, self-loops
+// and deletions of edges that never existed — the result depends only on
+// the current graph. The one precondition is that the base view's node set
+// is a subset of the current graph's (no node was deleted since the base
+// was built); that is exactly the invariant the delta ops can express.
+//
+// The result is equivalent to BuildView of the current graph — the full
+// build stays as both fallback and oracle (see TestPatchViewMatchesRebuild
+// and FuzzIncrementalView).
+func PatchView(base *View, hasNode func(int64) bool, hasEdge func(src, dst int64) bool, deltas []Delta) *View {
+	type pair struct{ s, d int64 }
+	pairs := make(map[pair]struct{}, len(deltas))
+	touched := make(map[int64]struct{}, len(deltas))
+	for _, d := range deltas {
+		touched[d.Src] = struct{}{}
+		if d.Op != DeltaAddNode {
+			touched[d.Dst] = struct{}{}
+			pairs[pair{d.Src, d.Dst}] = struct{}{}
+		}
+	}
+
+	ids, oldToNew, newToOld, newIdx := mergeIDs(base.ids, base.Index, hasNode, touched)
+	n := len(ids)
+	index := func(id int64) int32 {
+		if i, ok := base.Index(id); ok {
+			return oldToNew[i]
+		}
+		return newIdx[id]
+	}
+
+	// Net changes per direction, in the new dense space. An edge is a net
+	// add iff it exists now but not in the base, a net delete iff the
+	// reverse — order- and duplicate-independent.
+	addOut := map[int32][]int32{}
+	delOut := map[int32][]int32{}
+	addIn := map[int32][]int32{}
+	delIn := map[int32][]int32{}
+	for p := range pairs {
+		cur := hasEdge(p.s, p.d)
+		inBase := false
+		if si, ok := base.Index(p.s); ok {
+			if di, ok := base.Index(p.d); ok {
+				_, inBase = slices.BinarySearch(base.Out(si), di)
+			}
+		}
+		if cur == inBase {
+			continue
+		}
+		ns, nd := index(p.s), index(p.d)
+		if cur {
+			addOut[ns] = append(addOut[ns], nd)
+			addIn[nd] = append(addIn[nd], ns)
+		} else {
+			delOut[ns] = append(delOut[ns], nd)
+			delIn[nd] = append(delIn[nd], ns)
+		}
+	}
+	for _, m := range []map[int32][]int32{addOut, delOut, addIn, delIn} {
+		for _, l := range m {
+			slices.Sort(l)
+		}
+	}
+
+	v := &View{ids: ids}
+	v.outOff = make([]int64, n+1)
+	v.inOff = make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		var od, id int
+		if o := newToOld[i]; o >= 0 {
+			od = base.OutDeg(o)
+			id = base.InDeg(o)
+		}
+		od += len(addOut[int32(i)]) - len(delOut[int32(i)])
+		id += len(addIn[int32(i)]) - len(delIn[int32(i)])
+		v.outOff[i+1] = v.outOff[i] + int64(od)
+		v.inOff[i+1] = v.inOff[i] + int64(id)
+	}
+	e := v.outOff[n]
+	v.arena = make([]int32, e+v.inOff[n])
+	v.out = v.arena[:e:e]
+	v.in = v.arena[e:]
+
+	par.Do(
+		func() {
+			v.idx = make(map[int64]int32, n)
+			for i, id := range ids {
+				v.idx[id] = int32(i)
+			}
+		},
+		func() { patchAdj(n, v.out, v.outOff, newToOld, oldToNew, base.Out, addOut, delOut) },
+		func() { patchAdj(n, v.in, v.inOff, newToOld, oldToNew, base.In, addIn, delIn) },
+	)
+	return v
+}
+
+// PatchUView is PatchView for undirected views. hasEdge must be symmetric
+// in its arguments (for the undirected projection of a directed graph,
+// pass the closure over both orientations).
+func PatchUView(base *UView, hasNode func(int64) bool, hasEdge func(a, b int64) bool, deltas []Delta) *UView {
+	type pair struct{ a, b int64 }
+	canon := func(a, b int64) pair {
+		if a > b {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	pairs := make(map[pair]struct{}, len(deltas))
+	touched := make(map[int64]struct{}, len(deltas))
+	for _, d := range deltas {
+		touched[d.Src] = struct{}{}
+		if d.Op != DeltaAddNode {
+			touched[d.Dst] = struct{}{}
+			pairs[canon(d.Src, d.Dst)] = struct{}{}
+		}
+	}
+
+	ids, oldToNew, newToOld, newIdx := mergeIDs(base.ids, base.Index, hasNode, touched)
+	n := len(ids)
+	index := func(id int64) int32 {
+		if i, ok := base.Index(id); ok {
+			return oldToNew[i]
+		}
+		return newIdx[id]
+	}
+
+	add := map[int32][]int32{}
+	del := map[int32][]int32{}
+	for p := range pairs {
+		cur := hasEdge(p.a, p.b)
+		inBase := false
+		if ai, ok := base.Index(p.a); ok {
+			if bi, ok := base.Index(p.b); ok {
+				_, inBase = slices.BinarySearch(base.Adj(ai), bi)
+			}
+		}
+		if cur == inBase {
+			continue
+		}
+		na, nb := index(p.a), index(p.b)
+		m := add
+		if !cur {
+			m = del
+		}
+		// A self-loop appears once in its node's adjacency, like
+		// Undirected.AddEdge inserts it.
+		m[na] = append(m[na], nb)
+		if na != nb {
+			m[nb] = append(m[nb], na)
+		}
+	}
+	for _, m := range []map[int32][]int32{add, del} {
+		for _, l := range m {
+			slices.Sort(l)
+		}
+	}
+
+	v := &UView{ids: ids}
+	v.off = make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		var deg int
+		if o := newToOld[i]; o >= 0 {
+			deg = base.Deg(o)
+		}
+		deg += len(add[int32(i)]) - len(del[int32(i)])
+		v.off[i+1] = v.off[i] + int64(deg)
+	}
+	v.arena = make([]int32, v.off[n])
+
+	par.Do(
+		func() {
+			v.idx = make(map[int64]int32, n)
+			for i, id := range ids {
+				v.idx[id] = int32(i)
+			}
+		},
+		func() { patchAdj(n, v.arena, v.off, newToOld, oldToNew, base.Adj, add, del) },
+	)
+	return v
+}
+
+// mergeIDs merges the base id vector with the touched ids that are new to
+// it (present in the current graph, absent from the base), returning the
+// merged ascending id vector plus the dense-index translations both ways
+// (newToOld is -1 for freshly added nodes) and the dense index of each new
+// id.
+func mergeIDs(baseIDs []int64, baseIndex func(int64) (int32, bool), hasNode func(int64) bool, touched map[int64]struct{}) (ids []int64, oldToNew, newToOld []int32, newIdx map[int64]int32) {
+	var newIDs []int64
+	for id := range touched {
+		if !hasNode(id) {
+			continue
+		}
+		if _, ok := baseIndex(id); !ok {
+			newIDs = append(newIDs, id)
+		}
+	}
+	slices.Sort(newIDs)
+
+	oldN := len(baseIDs)
+	n := oldN + len(newIDs)
+	ids = make([]int64, 0, n)
+	oldToNew = make([]int32, oldN)
+	newToOld = make([]int32, n)
+	newIdx = make(map[int64]int32, len(newIDs))
+	i, j := 0, 0
+	for len(ids) < n {
+		if j >= len(newIDs) || (i < oldN && baseIDs[i] < newIDs[j]) {
+			oldToNew[i] = int32(len(ids))
+			newToOld[len(ids)] = int32(i)
+			ids = append(ids, baseIDs[i])
+			i++
+		} else {
+			newIdx[newIDs[j]] = int32(len(ids))
+			newToOld[len(ids)] = -1
+			ids = append(ids, newIDs[j])
+			j++
+		}
+	}
+	return ids, oldToNew, newToOld, newIdx
+}
+
+// patchAdj fills one adjacency half of a patched view in parallel: nodes
+// with no pending changes translate their base list through the dense-index
+// shift; touched nodes merge the translated base list with the sorted add
+// overlay while skipping deletes; fresh nodes copy their adds. Translation
+// preserves sort order because oldToNew is strictly increasing.
+func patchAdj(n int, dst []int32, off []int64, newToOld, oldToNew []int32, baseAdj func(int32) []int32, adds, dels map[int32][]int32) {
+	par.ForEach(n, func(i int) {
+		at := off[i]
+		a := adds[int32(i)]
+		d := dels[int32(i)]
+		o := newToOld[i]
+		if o < 0 {
+			copy(dst[at:], a)
+			return
+		}
+		src := baseAdj(o)
+		if len(a) == 0 && len(d) == 0 {
+			for _, x := range src {
+				dst[at] = oldToNew[x]
+				at++
+			}
+			return
+		}
+		ai, di := 0, 0
+		for _, x := range src {
+			nx := oldToNew[x]
+			for ai < len(a) && a[ai] < nx {
+				dst[at] = a[ai]
+				at++
+				ai++
+			}
+			if di < len(d) && d[di] == nx {
+				di++
+				continue
+			}
+			dst[at] = nx
+			at++
+		}
+		for ; ai < len(a); ai++ {
+			dst[at] = a[ai]
+			at++
+		}
+	})
+}

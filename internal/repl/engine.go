@@ -138,6 +138,9 @@ var verbs = map[string]verb{
 	"order":        {run: (*Engine).cmdOrder, mutates: true},
 	"tograph":      {run: (*Engine).cmdToGraph, mutates: true},
 	"totable":      {run: (*Engine).cmdToTable, mutates: true},
+	"addedge":      {run: (*Engine).cmdAddEdge, mutates: true},
+	"deledge":      {run: (*Engine).cmdDelEdge, mutates: true},
+	"addnode":      {run: (*Engine).cmdAddNode, mutates: true},
 	"pagerank":     {run: (*Engine).cmdPageRank, mutates: true},
 	"scores2table": {run: (*Engine).cmdScoresToTable, mutates: true},
 	"algo":         {run: (*Engine).cmdAlgo},
@@ -228,6 +231,9 @@ const HelpText = `Ringo interactive shell — verbs over named objects.
   order <tbl> asc|desc <col>...            sort a table in place
   tograph <out> <tbl> <srccol> <dstcol>    table -> directed graph (sort-first)
   totable <out> <graph>                    graph -> edge table
+  addedge <graph> <src> <dst>              add one edge in place (cached views patch, not rebuild)
+  deledge <graph> <src> <dst>              delete one edge in place
+  addnode <graph> <id>                     add one isolated node in place
   pagerank <out> <graph>                   10-iteration parallel PageRank
   scores2table <out> <scores> <key> <val>  score map -> sorted table
   algo <graph> triangles|wcc|scc|3core|diam|motifs|bridges|cuts|toposort|clustering

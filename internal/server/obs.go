@@ -38,6 +38,9 @@ const (
 	metricViewCacheMisses    = "ringo_view_cache_misses_total"
 	metricViewCacheEntries   = "ringo_view_cache_entries"
 	metricViewCacheBytes     = "ringo_view_cache_bytes"
+	metricViewPatches        = "ringo_view_patches_total"
+	metricViewRebuilds       = "ringo_view_rebuilds_total"
+	metricDeltaEdges         = "ringo_delta_edges"
 
 	metricIndexCacheHits    = "ringo_index_cache_hits_total"
 	metricIndexCacheMisses  = "ringo_index_cache_misses_total"
@@ -104,6 +107,23 @@ func (s *Server) initObs() {
 	reg.GaugeFunc(metricViewCacheBytes, "Estimated bytes held by resident CSR views.", func() float64 {
 		_, _, _, b := s.ViewCacheStats()
 		return float64(b)
+	})
+
+	// The incremental tier: on a view-cache miss over a mutated graph, the
+	// workspace either patches the nearest resident base view forward or
+	// rebuilds from scratch; the ratio of these two counters is the
+	// delta-maintenance win, and the gauge is the delta-log volume stale
+	// cached views can still patch forward across.
+	reg.CounterFunc(metricViewPatches, "CSR view materializations served by patching a cached base.", func() float64 {
+		p, _ := s.PatchStats()
+		return float64(p)
+	})
+	reg.CounterFunc(metricViewRebuilds, "CSR view materializations served by a full rebuild.", func() float64 {
+		_, r := s.PatchStats()
+		return float64(r)
+	})
+	reg.GaugeFunc(metricDeltaEdges, "Graph mutation deltas retained in binding logs as patch material for stale cached views.", func() float64 {
+		return float64(s.DeltaEdges())
 	})
 
 	// Equality-index caches, aggregated the same way, plus the process-wide

@@ -110,6 +110,75 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestIncrementalMetrics drives the mutation verbs through a session and
+// asserts the incremental tier's counters move and are exposed on both
+// GET /metrics and GET /stats: a warm view mutated by a small batch is
+// patched (not rebuilt) on requery, and the pending delta gauge tracks
+// the unfolded mutation backlog.
+func TestIncrementalMetrics(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if _, err := srv.CreateSession("inc"); err != nil {
+		t.Fatal(err)
+	}
+	postCmd(t, ts, "inc", "gen rmat E 8 500 7")
+	postCmd(t, ts, "inc", "tograph G E src dst")
+	postCmd(t, ts, "inc", "algo G wcc") // builds + caches the directed view
+	postCmd(t, ts, "inc", "addedge G 9001 9002")
+	postCmd(t, ts, "inc", "deledge G 9001 9002")
+	postCmd(t, ts, "inc", "addnode G 9003")
+	postCmd(t, ts, "inc", "algo G wcc") // patches the warm view forward
+
+	p, r := srv.PatchStats()
+	if p != 1 {
+		t.Fatalf("PatchStats patches = %d, want 1 (rebuilds %d)", p, r)
+	}
+	if d := srv.DeltaEdges(); d != 3 {
+		t.Fatalf("DeltaEdges = %d, want 3", d)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ringo_view_patches_total 1",
+		"ringo_view_rebuilds_total",
+		"ringo_delta_edges 3",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Views struct {
+			Patches    uint64 `json:"patches"`
+			Rebuilds   uint64 `json:"rebuilds"`
+			DeltaEdges int    `json:"delta_edges"`
+		} `json:"views"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Views.Patches != 1 || stats.Views.DeltaEdges != 3 {
+		t.Fatalf("/stats views = %+v, want patches 1 and delta_edges 3", stats.Views)
+	}
+}
+
 // checkExposition is a strict structural parse of Prometheus text format:
 // every sample belongs to a family announced by a preceding # TYPE, no
 // series line repeats, and histogram buckets are cumulative.

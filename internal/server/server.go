@@ -297,6 +297,33 @@ func (s *Server) IndexCacheStats() (hits, misses uint64, entries int, bytes int6
 	return hits, misses, entries, bytes
 }
 
+// PatchStats aggregates the incremental tier's view-maintenance counters
+// across every live session: how many CSR view materializations were
+// served by patching a cached base forward versus running a full rebuild.
+func (s *Server) PatchStats() (patches, rebuilds uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sess := range s.sessions {
+		p, r := sess.eng.Workspace().PatchStats()
+		patches += p
+		rebuilds += r
+	}
+	return patches, rebuilds
+}
+
+// DeltaEdges sums the pending mutation-log entries across every live
+// session — graph mutations applied to live bindings but not yet folded
+// into a materialized view.
+func (s *Server) DeltaEdges() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, sess := range s.sessions {
+		total += sess.eng.Workspace().DeltaEdges()
+	}
+	return total
+}
+
 // MappedBytes sums the file-backed bytes of mapped (RNGM) graph bindings
 // across every live session — graph data served through the OS page cache
 // rather than the Go heap, so it is reported separately from both
@@ -1004,10 +1031,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"entries": int(val(metricResultCacheEntries)),
 		},
 		"views": map[string]any{
-			"hits":    uint64(val(metricViewCacheHits)),
-			"misses":  uint64(val(metricViewCacheMisses)),
-			"entries": int(val(metricViewCacheEntries)),
-			"bytes":   int64(val(metricViewCacheBytes)),
+			"hits":        uint64(val(metricViewCacheHits)),
+			"misses":      uint64(val(metricViewCacheMisses)),
+			"entries":     int(val(metricViewCacheEntries)),
+			"bytes":       int64(val(metricViewCacheBytes)),
+			"patches":     uint64(val(metricViewPatches)),
+			"rebuilds":    uint64(val(metricViewRebuilds)),
+			"delta_edges": int(val(metricDeltaEdges)),
 		},
 		"indexes": map[string]any{
 			"hits":    uint64(val(metricIndexCacheHits)),

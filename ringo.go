@@ -306,6 +306,86 @@ func BuildView(g *Graph) *View { return graph.BuildView(g) }
 // BuildView; the workspace counterpart is Workspace.UndirectedView).
 func BuildUView(g *UGraph) *UView { return graph.BuildUView(g) }
 
+// Incremental analytics on mutating graphs: fine-grained mutations of a
+// workspace graph binding (Workspace.AddGraphEdge / DelGraphEdge /
+// AddGraphNode) append typed deltas to a per-binding log instead of
+// purging cached views; the next view fetch patches the nearest resident
+// CSR snapshot forward when the pending batch is small (see
+// DefaultPatchRatio), and the Incr algorithm variants update a previous
+// answer instead of recomputing (docs/ARCHITECTURE.md, "Incremental
+// analytics").
+type (
+	// Delta is one logged graph mutation: an operation plus its endpoints.
+	Delta = graph.Delta
+	// DeltaOp tags a Delta (DeltaAddNode, DeltaAddEdge, DeltaDelEdge).
+	DeltaOp = graph.DeltaOp
+)
+
+// Delta operations.
+const (
+	DeltaAddNode = graph.DeltaAddNode
+	DeltaAddEdge = graph.DeltaAddEdge
+	DeltaDelEdge = graph.DeltaDelEdge
+)
+
+// DefaultPatchRatio is the workspace's patch-vs-rebuild cutoff: a view is
+// patched when the pending delta batch is at most this fraction of the
+// base view's V+E (Workspace.ConfigurePatching overrides; <= 0 disables
+// patching).
+const DefaultPatchRatio = core.DefaultPatchRatio
+
+// DefaultPageRankTol is the convergence tolerance PageRankViewTol and
+// PageRankIncr share when callers have no stricter requirement.
+const DefaultPageRankTol = algo.DefaultPageRankTol
+
+// ReservedNodeID is the node id the graph structures reserve internally;
+// mutations addressing it are rejected.
+const ReservedNodeID = graph.ReservedNodeID
+
+// PatchView merges a delta batch into a directed CSR view, producing the
+// snapshot a full rebuild of the current graph would produce. hasNode and
+// hasEdge answer membership on the *current* graph (e.g. g.HasNode,
+// g.HasEdge), which makes the patch insensitive to duplicate or
+// cancelling deltas. Workspaces do this automatically; the free function
+// serves embedders managing their own views.
+func PatchView(base *View, hasNode func(int64) bool, hasEdge func(src, dst int64) bool, deltas []Delta) *View {
+	return graph.PatchView(base, hasNode, hasEdge, deltas)
+}
+
+// PatchUView is PatchView for undirected views; hasEdge must be
+// symmetric.
+func PatchUView(base *UView, hasNode func(int64) bool, hasEdge func(a, b int64) bool, deltas []Delta) *UView {
+	return graph.PatchUView(base, hasNode, hasEdge, deltas)
+}
+
+// PageRankViewTol iterates PageRank over a prebuilt view to a convergence
+// tolerance — the cold oracle PageRankIncr is equivalent to.
+func PageRankViewTol(v *View, damping, tol float64) map[int64]float64 {
+	return algo.PageRankViewTol(v, damping, tol)
+}
+
+// PageRankIncr is dynamic PageRank: seeded from a previous score map,
+// residual pushing plus a tolerance-driven polish make it agree with
+// PageRankViewTol on the current view while doing work proportional to
+// how much the solution moved.
+func PageRankIncr(v *View, prev map[int64]float64, damping, tol float64) map[int64]float64 {
+	return algo.PageRankIncr(v, prev, damping, tol)
+}
+
+// GetWCCIncr updates a weakly-connected-components result across addition
+// deltas (identical labels to GetWCCView). ok is false when the batch
+// contains an edge deletion — fall back to GetWCCView.
+func GetWCCIncr(v *View, prev Components, deltas []Delta) (Components, bool) {
+	return algo.WCCIncr(v, prev, deltas)
+}
+
+// CountTrianglesIncr updates a global triangle count across a mutation
+// batch by examining only the wedges the changed edges touch (exactly
+// CountTrianglesView of the new view).
+func CountTrianglesIncr(oldV, newV *UView, oldCount int64, deltas []Delta) int64 {
+	return algo.TrianglesIncr(oldV, newV, oldCount, deltas)
+}
+
 // PageRankView runs parallel PageRank over a prebuilt CSR view — the
 // zero-conversion path a cached view enables. Every Get* algorithm has a
 // *View sibling in the underlying library; the most common are re-exported
